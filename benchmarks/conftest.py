@@ -1,0 +1,55 @@
+"""Shared regime for the reproduction benchmarks.
+
+The paper's evaluation runs full benchmarks for millions of cycles on
+GEMS or 400 K-cycle RTL windows.  A pure-Python simulator cannot, so every
+harness here runs a *down-scaled* configuration chosen to preserve the
+relative pressures that drive each figure (see EXPERIMENTS.md):
+
+* workload footprints shrink together with the directory-cache capacity,
+  so LPD's directory thrashing survives the scaling;
+* think times stretch so the injection rate stays below the mesh's
+  broadcast saturation point, as in the paper's steady-state runs;
+* runs finish in thousands of cycles instead of hundreds of thousands.
+
+Absolute cycle counts therefore differ from the paper; the *shape* (who
+wins, roughly by how much, where the crossovers are) is what each bench
+asserts and prints.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ChipConfig
+
+# The down-scaled evaluation regime used across all figures.
+OPS_PER_CORE = 100
+WORKLOAD_SCALE = 0.05
+THINK_SCALE = 20.0
+DIR_CACHE_BYTES = 8 * 1024
+MAX_CYCLES = 300_000
+SEED = 0
+
+
+def chip36() -> ChipConfig:
+    return replace(ChipConfig.chip_36core(),
+                   directory_cache_bytes=DIR_CACHE_BYTES)
+
+
+def chip64() -> ChipConfig:
+    return replace(ChipConfig.chip_64core(),
+                   directory_cache_bytes=DIR_CACHE_BYTES)
+
+
+def run_once(benchmark_fixture, fn):
+    """Run *fn* exactly once under pytest-benchmark (simulations are
+    deterministic; repeated timing rounds would only re-run the same
+    cycles)."""
+    return benchmark_fixture.pedantic(fn, rounds=1, iterations=1,
+                                      warmup_rounds=0)
+
+
+@pytest.fixture
+def regime():
+    return dict(ops_per_core=OPS_PER_CORE, workload_scale=WORKLOAD_SCALE,
+                think_scale=THINK_SCALE, max_cycles=MAX_CYCLES, seed=SEED)

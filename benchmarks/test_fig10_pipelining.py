@@ -1,0 +1,62 @@
+"""Figure 10 — uncore pipelining and scaling to 64/100 cores.
+
+Paper result: pipelining the L2 and NIC reduces average L2 service
+latency by 15 % at 36 cores and 19 % at 64, with the effect growing to
+30.4 % at 100 cores; absolute latency rises with the mesh size because a
+k x k mesh's broadcast throughput falls as 1/k^2.
+"""
+
+import pytest
+
+from repro.core import run_benchmark
+
+from conftest import (DIR_CACHE_BYTES, OPS_PER_CORE, SEED, THINK_SCALE,
+                      WORKLOAD_SCALE, run_once)
+from repro.core.config import ChipConfig
+
+BENCHMARKS = ["barnes", "blackscholes", "lu"]
+MESHES = {36: (6, 6), 64: (8, 8)}
+# 100-core runs use fewer ops to stay tractable in pure Python.
+OPS = {36: OPS_PER_CORE, 64: 80}
+
+
+def _avg_latency(config, name):
+    result = run_benchmark(
+        name, "scorpio", config, ops_per_core=OPS[config.n_cores],
+        workload_scale=WORKLOAD_SCALE, think_scale=THINK_SCALE, seed=SEED)
+    return result.avg_l2_service_latency
+
+
+def _run(cores):
+    width, height = MESHES[cores]
+    base = ChipConfig.variant(width, height)
+    rows = {}
+    for pipelined in (False, True):
+        config = base.with_pipelining(pipelined)
+        label = "PL" if pipelined else "Non-PL"
+        rows[label] = {name: _avg_latency(config, name)
+                       for name in BENCHMARKS}
+    return rows
+
+
+@pytest.mark.parametrize("cores", sorted(MESHES))
+def test_fig10_pipelining(benchmark, cores):
+    rows = run_once(benchmark, lambda: _run(cores))
+
+    print(f"\nFigure 10 — average L2 service latency, {cores} cores "
+          f"(cycles)")
+    print(f"{'benchmark':<16}{'Non-PL':>10}{'PL':>10}{'gain':>8}")
+    gains = []
+    for name in BENCHMARKS:
+        non_pl, pl = rows["Non-PL"][name], rows["PL"][name]
+        gain = 1 - pl / non_pl
+        gains.append(gain)
+        print(f"{name:<16}{non_pl:>10.1f}{pl:>10.1f}{gain:>8.1%}")
+    avg_gain = sum(gains) / len(gains)
+    paper = {36: "15%", 64: "19%"}[cores]
+    print(f"{'AVG':<16}{'':>10}{'':>10}{avg_gain:>8.1%}  (paper: ~{paper})")
+
+    assert avg_gain > 0.0, "pipelining must reduce service latency"
+    non_pl_avg = sum(rows["Non-PL"].values()) / len(BENCHMARKS)
+    pl_avg = sum(rows["PL"].values()) / len(BENCHMARKS)
+    assert pl_avg < non_pl_avg

@@ -1,0 +1,62 @@
+"""Figure 6c — request latency breakdown, served by the directory/memory
+(36 cores).
+
+Paper result: for the ~10 % of requests that memory serves, HT-D is
+slightly *better* than SCORPIO-D (the directory can serve immediately,
+while SCORPIO still pays ordering), and LPD-D is worst because its larger
+entries mean more directory-cache misses and off-chip penalties.
+"""
+
+from repro.analysis.latency import breakdown_row, format_stack, total_latency
+from repro.core import compare_protocols
+from repro.workloads.suites import FIG6BC_BENCHMARKS
+
+from conftest import chip36, run_once
+
+BENCHMARKS = FIG6BC_BENCHMARKS[:3]
+
+
+def _collect(config, regime):
+    out = {}
+    for name in BENCHMARKS:
+        results = compare_protocols(name, config=config, **regime)
+        out[name] = {
+            proto: breakdown_row(results[proto], "memory")
+            for proto in results
+        }
+    return out
+
+
+def test_fig6c_memory_served_breakdown(benchmark, regime):
+    config = chip36()
+    regime = dict(regime)
+    regime.pop("max_cycles")
+    data = run_once(benchmark, lambda: _collect(config, regime))
+
+    print("\nFigure 6c — latency breakdown, served by directory/memory "
+          "(cycles)")
+    averages = {proto: [] for proto in ("lpd", "ht", "scorpio")}
+    for name, rows in data.items():
+        print(f"\n  {name}:")
+        print("  " + format_stack(
+            {p.upper() + "-D": rows[p] for p in averages},
+            "memory").replace("\n", "\n  "))
+        for proto in averages:
+            averages[proto].append(total_latency(rows[proto]))
+
+    mean = {proto: sum(vals) / len(vals)
+            for proto, vals in averages.items()}
+    print(f"\naverage memory-served latency: "
+          f"SCORPIO-D {mean['scorpio']:.1f}, LPD-D {mean['lpd']:.1f}, "
+          f"HT-D {mean['ht']:.1f}")
+
+    # Shape: LPD pays the largest directory-access cost of the three
+    # (bigger entries -> fewer cached -> more off-chip fills).
+    lpd_dir = sum(rows["lpd"]["dir_access"] for rows in data.values())
+    ht_dir = sum(rows["ht"]["dir_access"] for rows in data.values())
+    assert lpd_dir >= ht_dir
+    # Everyone ultimately pays the same DRAM latency term.
+    for rows in data.values():
+        assert rows["scorpio"]["mem_access"] > 0
+        assert rows["lpd"]["mem_access"] > 0
+        assert rows["ht"]["mem_access"] > 0

@@ -1,0 +1,85 @@
+"""Figure 7 — SCORPIO vs TokenB vs INSO on 16 cores.
+
+Paper result (runtimes normalized to SCORPIO): TokenB performs about the
+same as SCORPIO (data races unmodelled); INSO degrades as its expiration
+window grows — 19.3 % worse at a 40-cycle window and 70 % worse at 80
+cycles, with the 20-cycle window impractical because expiry messages
+outnumber real requests ~25x.
+"""
+
+from repro.core.config import ChipConfig
+from repro.ordering_baselines.systems import InsoSystem, TokenBSystem
+from repro.systems.scorpio import ScorpioSystem
+from repro.workloads.suites import FIG7_BENCHMARKS
+from repro.workloads.synthetic import generate_system_traces, scaled
+from repro.workloads.suites import profile
+
+from conftest import OPS_PER_CORE, SEED, WORKLOAD_SCALE, run_once
+
+BENCHMARKS = FIG7_BENCHMARKS
+MAX_CYCLES = 400_000
+WINDOWS = (20, 40, 80)
+# Higher load than the Fig-6 regime so ordering stalls are visible (the
+# 16-core mesh has 2.25x the per-node broadcast capacity of the 6x6).
+FIG7_THINK_SCALE = 8.0
+
+
+def _traces(name, n_cores):
+    prof = scaled(profile(name), WORKLOAD_SCALE, FIG7_THINK_SCALE)
+    return generate_system_traces(prof, n_cores, OPS_PER_CORE, seed=SEED)
+
+
+def _run_16core(name):
+    config = ChipConfig.variant(4, 4)
+    runtimes = {}
+
+    system = ScorpioSystem(traces=_traces(name, 16), noc=config.noc,
+                           notification=config.notification)
+    runtimes["scorpio"] = system.run_until_done(MAX_CYCLES)
+
+    system = TokenBSystem(traces=_traces(name, 16), noc=config.noc)
+    runtimes["tokenb"] = system.run_until_done(MAX_CYCLES)
+
+    expiry_ratio = {}
+    for window in WINDOWS:
+        system = InsoSystem(traces=_traces(name, 16),
+                            expiration_window=window, noc=config.noc)
+        runtimes[f"inso{window}"] = system.run_until_done(MAX_CYCLES)
+        expiry_ratio[window] = system.expiry_overhead()
+    return runtimes, expiry_ratio
+
+
+def test_fig7_ordered_network_baselines(benchmark):
+    def sweep():
+        return {name: _run_16core(name) for name in BENCHMARKS}
+
+    data = run_once(benchmark, sweep)
+
+    print("\nFigure 7 — runtime normalized to SCORPIO (16 cores)")
+    columns = ["scorpio", "tokenb", "inso20", "inso40", "inso80"]
+    print(f"{'benchmark':<16}" + "".join(f"{c:>10}" for c in columns))
+    normalized_all = {c: [] for c in columns}
+    for name, (runtimes, expiry) in data.items():
+        base = runtimes["scorpio"]
+        row = {c: runtimes[c] / base for c in columns}
+        for c in columns:
+            normalized_all[c].append(row[c])
+        print(f"{name:<16}" + "".join(f"{row[c]:>10.3f}" for c in columns))
+    avg = {c: sum(v) / len(v) for c, v in normalized_all.items()}
+    print(f"{'AVG':<16}" + "".join(f"{avg[c]:>10.3f}" for c in columns))
+    sample_expiry = data[BENCHMARKS[0]][1]
+    print(f"\nINSO expiry-to-request ratio (window=20): "
+          f"{sample_expiry[20]:.1f} (paper: ~25x)")
+    print("paper: TokenB ~ SCORPIO; INSO-40 +19.3%, INSO-80 +70%")
+
+    # Shape: TokenB close to SCORPIO; INSO degrades with the window
+    # (the magnitudes are compressed by the trace-driven cores — see
+    # EXPERIMENTS.md).
+    assert avg["tokenb"] < 1.1, "TokenB should be close to SCORPIO"
+    assert avg["inso20"] < 1.05, \
+        "INSO-20 should match SCORPIO (it is 'impractical', not slow)"
+    assert avg["inso20"] <= avg["inso40"] <= avg["inso80"], \
+        "INSO must degrade as the expiration window grows"
+    assert avg["inso80"] > 1.03, "INSO-80 must be clearly worse"
+    # Small windows flood the network with expiries.
+    assert sample_expiry[20] > sample_expiry[80]

@@ -1,0 +1,126 @@
+"""Figure 8 — NoC design exploration for the 36-core chip.
+
+Four sweeps, all runtimes normalized to the 16 B / 4-VC baseline:
+
+* 8a  channel width 8/16/32 B — 8 B degrades (5-flit data packets),
+  32 B is marginal (diminishing returns; the chip ships 16 B);
+* 8b  GO-REQ VCs 2/4/6 — 2 VCs starve the broadcast traffic, 4 ~ 6;
+* 8c  UO-RESP VCs at fixed channel width — little sensitivity;
+* 8d  notification bits per core 1/2/3 — more simultaneous
+  notifications help bursts, saturating at 2 bits.
+
+Each sweep runs a SPLASH-2 subset on the full 36-core SCORPIO system.
+"""
+
+import pytest
+
+from repro.core import run_benchmark
+
+from conftest import chip36, run_once
+
+BENCHMARKS = ["fft", "lu", "water-nsq"]
+
+
+def _sweep(configs, regime, benchmarks=BENCHMARKS):
+    """runtime[config_label][benchmark], plus per-config average
+    normalized to the first config."""
+    runtimes = {}
+    for label, config in configs.items():
+        runtimes[label] = {
+            name: run_benchmark(name, "scorpio", config, **regime).runtime
+            for name in benchmarks
+        }
+    labels = list(configs)
+    base = runtimes[labels[0]]
+    normalized = {
+        label: {name: runtimes[label][name] / base[name]
+                for name in benchmarks}
+        for label in labels
+    }
+    avg = {label: sum(vals.values()) / len(vals)
+           for label, vals in normalized.items()}
+    return normalized, avg
+
+
+def _print(title, normalized, avg, paper_note):
+    print(f"\n{title}")
+    labels = list(normalized)
+    print(f"{'benchmark':<14}" + "".join(f"{l:>12}" for l in labels))
+    for name in BENCHMARKS:
+        print(f"{name:<14}" + "".join(
+            f"{normalized[l][name]:>12.3f}" for l in labels))
+    print(f"{'AVG':<14}" + "".join(f"{avg[l]:>12.3f}" for l in labels))
+    print(paper_note)
+
+
+def test_fig8a_channel_width(benchmark, regime):
+    regime = dict(regime)
+    regime.pop("max_cycles")
+    base = chip36()
+    configs = {
+        "CW=16B": base,                       # normalize to the shipped CW
+        "CW=8B": base.with_channel_width(8),
+        "CW=32B": base.with_channel_width(32),
+    }
+    normalized, avg = run_once(
+        benchmark, lambda: _sweep(configs, regime))
+    _print("Figure 8a — channel width (normalized to 16 B)",
+           normalized, avg,
+           "paper: 8 B degrades several apps; 32 B marginal gain")
+    assert avg["CW=8B"] >= avg["CW=16B"] * 0.999
+    assert avg["CW=32B"] <= avg["CW=8B"]
+
+
+def test_fig8b_goreq_vcs(benchmark, regime):
+    regime = dict(regime)
+    regime.pop("max_cycles")
+    base = chip36()
+    configs = {
+        "VCs=4": base,
+        "VCs=2": base.with_goreq_vcs(2),
+        "VCs=6": base.with_goreq_vcs(6),
+    }
+    normalized, avg = run_once(
+        benchmark, lambda: _sweep(configs, regime))
+    _print("Figure 8b — GO-REQ virtual channels (normalized to 4 VCs)",
+           normalized, avg,
+           "paper: 2 VCs degrade runtime severely; 4 ~ 6 VCs")
+    assert avg["VCs=2"] >= avg["VCs=4"] * 0.999
+    assert abs(avg["VCs=6"] - avg["VCs=4"]) < 0.15
+
+
+def test_fig8c_uoresp_vcs(benchmark, regime):
+    regime = dict(regime)
+    regime.pop("max_cycles")
+    base = chip36()
+    configs = {
+        "CW16/VC2": base,
+        "CW16/VC4": base.with_uoresp_vcs(4),
+        "CW8/VC2": base.with_channel_width(8),
+        "CW8/VC4": base.with_channel_width(8).with_uoresp_vcs(4),
+    }
+    normalized, avg = run_once(
+        benchmark, lambda: _sweep(configs, regime))
+    _print("Figure 8c — UO-RESP VCs x channel width "
+           "(normalized to CW16/VC2)", normalized, avg,
+           "paper: once channel width is fixed, UO-RESP VCs barely matter")
+    assert abs(avg["CW16/VC4"] - avg["CW16/VC2"]) < 0.1
+    assert abs(avg["CW8/VC4"] - avg["CW8/VC2"]) < 0.1
+
+
+def test_fig8d_notification_bits(benchmark, regime):
+    regime = dict(regime)
+    regime.pop("max_cycles")
+    base = chip36()
+    configs = {
+        "BW=1b": base,
+        "BW=2b": base.with_notification_bits(2),
+        "BW=3b": base.with_notification_bits(3),
+    }
+    normalized, avg = run_once(
+        benchmark, lambda: _sweep(configs, regime))
+    _print("Figure 8d — notification bits per core (normalized to 1 bit)",
+           normalized, avg,
+           "paper: 2 bits ~10% better with bursts; 3 bits no further gain")
+    assert avg["BW=2b"] <= avg["BW=1b"] * 1.02
+    assert abs(avg["BW=3b"] - avg["BW=2b"]) < 0.1

@@ -1,0 +1,77 @@
+"""Figure 9 — tile power and area breakdown.
+
+Paper result (from layout and PrimeTime on the fabricated chip): the core
+plus L1s consume ~62 % of tile power and the NIC+router 19 %; in area the
+caches dominate (L2 46 % of tile) and the NIC+router take 10 %.  The
+notification network costs <1 % of tile power.
+
+Our analytical model is calibrated to reproduce the fabricated chip's
+breakdown exactly and to scale other configurations by buffer/crossbar
+cost; this bench regenerates both pie charts and spot-checks the scaling
+model against the paper's reported sensitivities (e.g. 32 B channels grow
+router+NIC area ~46 %, Sec. 5.2).
+"""
+
+from repro.analysis.area_power import (CHIP_POWER_W, TILE_POWER_MW,
+                                       aggregate, paper_tile_budget,
+                                       tile_budget)
+from repro.core import ChipConfig
+
+from conftest import run_once
+
+GROUPS = {
+    "Core+L1": ("core", "l1_data", "l1_inst"),
+    "L2 cache": ("l2_cache_controller", "l2_cache_array", "rshr"),
+    "NIC+Router": ("nic_router",),
+    "Other": ("ahb_ace", "region_tracker", "l2_tester", "other"),
+}
+
+
+def test_fig9_tile_overheads(benchmark):
+    def build():
+        chip = ChipConfig.chip_36core()
+        return {
+            "chip": tile_budget(chip),
+            "paper": paper_tile_budget(),
+            "wide": tile_budget(chip.with_channel_width(32)),
+            "more_vcs": tile_budget(chip.with_goreq_vcs(6)),
+            "wide_notif": tile_budget(chip.with_notification_bits(2)),
+        }
+
+    budgets = run_once(benchmark, build)
+    chip, paper = budgets["chip"], budgets["paper"]
+
+    print("\nFigure 9a — tile power breakdown (percent)")
+    for name, value in sorted(chip.power_pct.items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  {name:<22} {value:6.1f}")
+    print("\nFigure 9b — tile area breakdown (percent)")
+    for name, value in sorted(chip.area_pct.items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  {name:<22} {value:6.1f}")
+    power_groups = aggregate(chip, GROUPS)
+    print("\ngrouped power:", {k: round(v, 1)
+                               for k, v in power_groups.items()})
+    print(f"tile power: {chip.tile_power_mw:.0f} mW, chip power: "
+          f"{chip.chip_power_w(36):.1f} W (paper: 768 mW / 28.8 W)")
+    print(f"notification network: {chip.notification_pct_of_tile:.2f} % "
+          f"of tile (paper: <1 %)")
+
+    # Fabricated configuration reproduces the paper's numbers.
+    assert abs(chip.power_pct["nic_router"] - 19.0) < 1.0
+    assert abs(chip.area_pct["nic_router"] - 10.0) < 1.0
+    assert abs(power_groups["Core+L1"] - 62.0) < 2.0
+    assert abs(chip.tile_power_mw - TILE_POWER_MW) < 1.0
+    assert abs(chip.chip_power_w(36) - CHIP_POWER_W) < 1.0
+    assert chip.notification_pct_of_tile < 1.0
+
+    # Scaling model sensitivities.
+    wide = budgets["wide"]
+    assert wide.area_pct["nic_router"] > chip.area_pct["nic_router"], \
+        "32 B channels must grow the router+NIC area share"
+    more_vcs = budgets["more_vcs"]
+    assert more_vcs.tile_power_mw > chip.tile_power_mw, \
+        "6 VCs must cost more power than 4 (paper: ~12 %)"
+    assert budgets["wide_notif"].notification_pct_of_tile \
+        > chip.notification_pct_of_tile
+    assert budgets["wide_notif"].notification_pct_of_tile < 2.0

@@ -1,0 +1,69 @@
+"""Network characterization (Sec. 5.3's throughput analysis).
+
+The paper reasons about scaling from the mesh's theoretical broadcast
+capacity: 1/k^2 flits/node/cycle — 0.027 for the 6x6 chip, 0.01 at
+10x10 — and attributes the 100-core latency blow-up to operating near
+that bound.  This bench drives the standalone main network with the
+on-chip-tester equivalents and verifies:
+
+* unicast latency curves stay flat below saturation and blow up above;
+* measured broadcast saturation lands near the 1/k^2 bound;
+* the bound falls as the mesh grows, as the scaling argument requires.
+"""
+
+from repro.noc.config import NocConfig
+from repro.noc.tester import NetworkTester, TrafficConfig
+
+from conftest import run_once
+
+
+def _characterize():
+    out = {}
+    for width in (4, 6):
+        tester = NetworkTester(NocConfig(width=width, height=width))
+        bound = tester.broadcast_capacity_bound()
+        below = tester.run(TrafficConfig(pattern="broadcast",
+                                         injection_rate=bound * 0.5),
+                           cycles=2500)
+        above = tester.run(TrafficConfig(pattern="broadcast",
+                                         injection_rate=bound * 2.5),
+                           cycles=2500)
+        curve = tester.latency_curve("uniform", [0.02, 0.10, 0.30],
+                                     cycles=2000)
+        out[width] = dict(bound=bound, below=below, above=above,
+                          curve=curve)
+    return out
+
+
+def test_noc_broadcast_capacity_and_latency(benchmark):
+    data = run_once(benchmark, _characterize)
+
+    print("\nNetwork characterization")
+    for width, entry in data.items():
+        bound = entry["bound"]
+        print(f"\n  {width}x{width} mesh: theoretical broadcast capacity "
+              f"= {bound:.4f} flits/node/cycle "
+              f"({'0.027' if width == 6 else '1/16'} in the paper's terms)")
+        below, above = entry["below"], entry["above"]
+        print(f"    at 0.5x bound: avg latency {below.avg_latency:6.1f}, "
+              f"saturated={below.saturated}")
+        print(f"    at 2.5x bound: avg latency {above.avg_latency:6.1f}, "
+              f"saturated={above.saturated}")
+        print("    unicast latency curve:")
+        for point in entry["curve"]:
+            print(f"      rate {point.injection_rate:.2f}: "
+                  f"avg {point.avg_latency:6.1f}  "
+                  f"p95 {point.p95_latency:6.1f}  "
+                  f"thr {point.throughput:.3f}")
+
+    for width, entry in data.items():
+        assert not entry["below"]["saturated"] \
+            if isinstance(entry["below"], dict) else \
+            not entry["below"].saturated
+        assert entry["above"].saturated, \
+            f"{width}x{width}: offering 2.5x the bound must saturate"
+        curve = entry["curve"]
+        assert curve[-1].avg_latency > curve[0].avg_latency
+    # Scaling argument: capacity falls as the mesh grows.
+    assert data[6]["bound"] < data[4]["bound"]
+    assert abs(data[6]["bound"] - 1 / 36) < 1e-9   # the paper's 0.027

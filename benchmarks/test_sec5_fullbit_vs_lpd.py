@@ -1,0 +1,63 @@
+"""Section 5 claim — "We evaluated LPD against full-bit directory ... and
+discovered almost identical performance when approximately 3 to 4 sharers
+were tracked per line as well as the owner ID."
+
+This bench runs the same workloads under the FULLBIT and LPD (4-pointer)
+schemes at 36 cores with the shared directory-cache budget and checks
+that the runtimes track each other — the justification for the paper's
+choice of LPD as its pointer-scheme baseline.
+"""
+
+from dataclasses import replace
+
+from repro.coherence.directory import DirectoryConfig
+from repro.core.api import run_benchmark
+
+from conftest import (DIR_CACHE_BYTES, MAX_CYCLES, OPS_PER_CORE, SEED,
+                      THINK_SCALE, WORKLOAD_SCALE, chip36, run_once)
+
+BENCHMARKS = ("barnes", "lu", "blackscholes", "canneal")
+
+
+def _run(name, protocol):
+    result = run_benchmark(name, protocol=protocol, config=chip36(),
+                           ops_per_core=OPS_PER_CORE,
+                           max_cycles=MAX_CYCLES,
+                           workload_scale=WORKLOAD_SCALE,
+                           think_scale=THINK_SCALE, seed=SEED)
+    assert result.progress == 1.0, f"{protocol}/{name} did not finish"
+    return result
+
+
+def test_sec5_fullbit_vs_lpd(benchmark):
+    def sweep():
+        out = {}
+        for name in BENCHMARKS:
+            out[name] = {protocol: _run(name, protocol).runtime
+                         for protocol in ("lpd", "fullbit")}
+        return out
+
+    data = run_once(benchmark, sweep)
+
+    print("\nSec. 5 — LPD (4 pointers) vs full-bit directory, 36 cores")
+    print(f"{'benchmark':<16}{'LPD':>10}{'FULLBIT':>10}{'full/lpd':>10}")
+    ratios = []
+    for name, row in data.items():
+        ratio = row["fullbit"] / row["lpd"]
+        ratios.append(ratio)
+        print(f"{name:<16}{row['lpd']:>10}{row['fullbit']:>10}"
+              f"{ratio:>10.3f}")
+    avg = sum(ratios) / len(ratios)
+    print(f"{'AVG':<16}{'':>10}{'':>10}{avg:>10.3f}")
+    print("paper: almost identical performance with 3-4 pointers")
+
+    # The entry geometry differs...
+    full = DirectoryConfig(scheme="FULLBIT", n_nodes=36,
+                           total_cache_bytes=DIR_CACHE_BYTES)
+    lpd = DirectoryConfig(scheme="LPD", n_nodes=36,
+                          total_cache_bytes=DIR_CACHE_BYTES)
+    assert full.entry_bits() > lpd.entry_bits()
+    # ...but the runtimes are almost identical.
+    assert 0.9 < avg < 1.1, "LPD(4) should match full-bit (paper Sec. 5)"
+    for ratio in ratios:
+        assert 0.85 < ratio < 1.15

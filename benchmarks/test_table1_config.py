@@ -1,0 +1,50 @@
+"""Table 1 — SCORPIO chip features.
+
+Verifies that the default :class:`ChipConfig` reproduces every
+simulator-relevant row of Table 1 and prints the feature summary.
+"""
+
+from repro.core import CHIP_FEATURES, ChipConfig
+from repro.noc.packet import data_packet_flits
+
+from conftest import run_once
+
+
+def test_table1_chip_features(benchmark):
+    def build():
+        return ChipConfig.chip_36core()
+
+    config = run_once(benchmark, build)
+
+    # Topology: 6x6 mesh, 36 cores.
+    assert config.noc.width == 6 and config.noc.height == 6
+    assert config.n_cores == 36
+    # Channel width: control packets 1 flit, data packets 3 flits.
+    assert config.noc.channel_width_bytes == 16
+    assert data_packet_flits(config.noc.channel_width_bytes,
+                             config.noc.line_size_bytes) == 3
+    # Virtual networks: GO-REQ 4 VCs x 1 buffer, UO-RESP 2 VCs x 3 buffers.
+    assert config.noc.goreq_vcs == 4 and config.noc.goreq_vc_depth == 1
+    assert config.noc.uoresp_vcs == 2 and config.noc.uoresp_vc_depth == 3
+    assert config.noc.reserved_vc
+    # Router: XY, multicast, lookahead bypassing, 3-stage + 1-stage link.
+    assert config.noc.multicast and config.noc.lookahead_bypass
+    assert config.noc.router_pipeline_stages == 3
+    assert config.noc.link_stages == 1
+    # Notification network: 36 bits, 13-cycle window, max 4 pending.
+    assert config.notification.bits_per_core == 1
+    assert config.notification.window == 13
+    assert config.notification.max_pending == 4
+    # Caches: 128 KB 4-way L2, 32 B lines; region tracker 4 KB x 128.
+    assert config.cache.l2_size == 128 * 1024 and config.cache.l2_ways == 4
+    assert config.cache.line_size == 32
+    assert config.cache.region_bytes == 4096
+    assert config.cache.region_entries == 128
+    # Cores: 2 outstanding messages (AHB).
+    assert config.core.max_outstanding == 2
+    # Two memory controllers on the chip edge.
+    assert len(config.mc_nodes) == 2
+
+    print("\nTable 1 — SCORPIO chip features")
+    for key, value in CHIP_FEATURES.items():
+        print(f"  {key:<20} {value}")

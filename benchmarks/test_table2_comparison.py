@@ -1,0 +1,35 @@
+"""Table 2 — comparison of multicore processors.
+
+Regenerates the comparison table and checks the SCORPIO column against
+the simulated configuration.
+"""
+
+from repro.analysis.comparison import TABLE2, as_rows, scorpio_row
+from repro.core import ChipConfig
+
+from conftest import run_once
+
+FIELDS = ["clock", "power", "lithography", "core_count", "isa",
+          "l1d", "l1i", "l2", "l3", "consistency", "coherency",
+          "interconnect"]
+
+
+def test_table2_multicore_comparison(benchmark):
+    rows = run_once(benchmark, lambda: as_rows(FIELDS))
+
+    names = [spec.name for spec in TABLE2]
+    assert "SCORPIO" in names and len(TABLE2) == 6
+
+    scorpio = scorpio_row()
+    config = ChipConfig.chip_36core()
+    assert scorpio.core_count == str(config.n_cores)
+    assert scorpio.interconnect == (f"{config.noc.width}x"
+                                    f"{config.noc.height} mesh")
+    assert scorpio.coherency == "Snoopy"
+    assert scorpio.l2 == "128 KB private"
+
+    print("\nTable 2 — multicore processor comparison")
+    header = f"{'':<14}" + "".join(f"{name:>28}" for name in names)
+    print(header)
+    for field, values in rows.items():
+        print(f"{field:<14}" + "".join(f"{v:>28}" for v in values))

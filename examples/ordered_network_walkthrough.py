@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's Figure-1 walkthrough, reproduced on the live simulator.
+
+Two cores of a 16-node (4x4) mesh miss at almost the same time:
+
+* core 11 issues a GETX for Addr1 (message M1),
+* core 1 issues a GETS for Addr2 (message M2).
+
+Both requests broadcast on the unordered main network and announce
+themselves on the notification network.  Every NIC independently derives
+the same global order from the merged notification vector and releases
+the requests to its cache controller in that order — the demo asserts
+that all 16 nodes agree.
+
+Run:  python examples/ordered_network_walkthrough.py
+"""
+
+from repro.cpu.trace import Trace, TraceOp
+from repro.noc.config import NocConfig
+from repro.systems.scorpio import ScorpioSystem
+
+ADDR1 = 0x4000_0000
+ADDR2 = 0x4000_1000
+
+
+def main() -> None:
+    noc = NocConfig(width=4, height=4)
+    traces = [Trace([]) for _ in range(16)]
+    traces[11] = Trace([TraceOp("W", ADDR1, 2)])   # M1: GETX Addr1
+    traces[1] = Trace([TraceOp("R", ADDR2, 3)])    # M2: GETS Addr2
+    system = ScorpioSystem(traces=traces, noc=noc)
+
+    delivery_log = {node: [] for node in range(16)}
+    for node, nic in enumerate(system.nics):
+        nic.add_request_listener(
+            (lambda n: (lambda payload, sid, cycle, arrival:
+                        delivery_log[n].append((cycle, sid,
+                                                payload.kind.value))))(node))
+
+    window = system.notif_config.window
+    print(f"4x4 mesh, notification window = {window} cycles")
+    print("core 11 injects GETX Addr1 (M1); core 1 injects GETS Addr2 (M2)\n")
+
+    system.run_until_done(10_000)
+
+    print("per-node delivery of the ordered requests:")
+    for node in range(16):
+        entries = ", ".join(f"T{cycle}: {kind} from core {sid}"
+                            for cycle, sid, kind in delivery_log[node])
+        print(f"  node {node:>2}: {entries}")
+
+    orders = {tuple((sid, kind) for _c, sid, kind in log)
+              for log in delivery_log.values()}
+    assert len(orders) == 1, "nodes disagreed on the global order!"
+    order = next(iter(orders))
+    print(f"\nall 16 nodes processed the requests in the same order: "
+          f"{' -> '.join(f'core {sid} ({kind})' for sid, kind in order)}")
+    print("(the rotating priority arbiter decided the tie — exactly the "
+          "walkthrough of Figure 1)")
+
+
+if __name__ == "__main__":
+    main()

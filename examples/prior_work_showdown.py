@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Prior-work showdown: every ordered-coherence scheme from Section 2.
+
+Runs the same 16-core workload under SCORPIO and all four prior
+approaches the paper discusses — TokenB, INSO, Timestamp Snooping and
+Uncorq — and prints each scheme's runtime together with the overhead
+metric the paper criticizes it for:
+
+* INSO       -> expiry-message bandwidth (ratio to real requests)
+* TS         -> destination reorder-buffer peak (buffers per node)
+* Uncorq     -> ring write-wait (full traversal latency)
+* TokenB     -> per-cacheline token storage (computed, not simulated)
+
+Run:  python examples/prior_work_showdown.py
+"""
+
+import math
+
+from repro.core import ChipConfig
+from repro.ordering_baselines.systems import (InsoSystem, TimestampSystem,
+                                              TokenBSystem, UncorqSystem)
+from repro.systems.scorpio import ScorpioSystem
+from repro.workloads.suites import profile
+from repro.workloads.synthetic import generate_system_traces, scaled
+
+BENCHMARK = "blackscholes"
+N_CORES = 16
+OPS = 80
+MAX_CYCLES = 400_000
+
+
+def traces(seed=0):
+    prof = scaled(profile(BENCHMARK), 0.05, 8.0)
+    return generate_system_traces(prof, N_CORES, OPS, seed=seed)
+
+
+def main() -> None:
+    config = ChipConfig.variant(4, 4)
+    print(f"{BENCHMARK} on {N_CORES} cores, {OPS} ops/core\n")
+
+    rows = []
+
+    system = ScorpioSystem(traces=traces(), noc=config.noc,
+                           notification=config.notification)
+    base = system.run_until_done(MAX_CYCLES)
+    rows.append(("SCORPIO", base,
+                 f"notification net: {config.noc.n_nodes} bits, "
+                 f"{config.notification.window}-cycle window"))
+
+    system = TokenBSystem(traces=traces(), noc=config.noc)
+    runtime = system.run_until_done(MAX_CYCLES)
+    token_bits = 2 + math.ceil(math.log2(N_CORES))
+    rows.append(("TokenB", runtime,
+                 f"+{token_bits} bits per cacheline for tokens "
+                 "(grows with every cache in the system)"))
+
+    for window in (20, 40, 80):
+        system = InsoSystem(traces=traces(), expiration_window=window,
+                            noc=config.noc)
+        runtime = system.run_until_done(MAX_CYCLES)
+        rows.append((f"INSO-{window}", runtime,
+                     f"expiry/request ratio "
+                     f"{system.expiry_overhead():.1f}x"))
+
+    system = TimestampSystem(traces=traces(), noc=config.noc)
+    runtime = system.run_until_done(MAX_CYCLES)
+    rows.append(("Timestamp Snooping", runtime,
+                 f"reorder-buffer peak {system.reorder_buffer_peak()} "
+                 f"requests/node (grows with cores x outstanding)"))
+
+    system = UncorqSystem(traces=traces(), noc=config.noc)
+    runtime = system.run_until_done(MAX_CYCLES)
+    rows.append(("Uncorq", runtime,
+                 f"write waits a {system.ring_traversal_latency()}-cycle "
+                 f"ring circuit (linear in core count)"))
+
+    print(f"{'scheme':<20}{'runtime':>9}{'vs SCORPIO':>12}  overhead")
+    print("-" * 78)
+    for name, runtime, overhead in rows:
+        print(f"{name:<20}{runtime:>9}{runtime / base:>12.3f}  {overhead}")
+
+    print("\nSCORPIO's point (Sec. 2): match the ordered schemes' "
+          "performance while keeping\nper-node state fixed — no tokens, "
+          "no O(cores) reorder buffers, no ring wait.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a full Python reproduction of SCORPIO (ISCA 2014).
+
+SCORPIO demonstrates snoopy coherence on a scalable mesh NoC by
+decoupling message delivery (an unordered packet-switched main network)
+from message ordering (a bufferless, fixed-latency-bound notification
+network).  This package rebuilds the whole system: the two networks, the
+NIC ordering machinery, the MOSI cache hierarchy, the memory controllers
+(with an optional banked DDR2 model), the LPD / full-bit / HT directory
+baselines, the complete Sec.-2 ordered-network lineup (INSO, TokenB,
+Timestamp Snooping, Uncorq), INCF in-network snoop filtering, and the
+harnesses that regenerate every figure and table of the paper's
+evaluation — plus a CLI (``python -m repro``), an SC litmus suite and a
+runtime invariant monitor.
+
+Quick start::
+
+    from repro.core import ChipConfig, run_benchmark
+    result = run_benchmark("barnes", protocol="scorpio",
+                           config=ChipConfig.chip_36core())
+    print(result.runtime)
+"""
+
+from repro.core import (CHIP_FEATURES, PROTOCOLS, ChipConfig, RunResult,
+                        build_system, compare_protocols, normalized_runtimes,
+                        run_benchmark)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CHIP_FEATURES", "PROTOCOLS", "ChipConfig", "RunResult",
+    "build_system", "compare_protocols", "normalized_runtimes",
+    "run_benchmark", "__version__",
+]

@@ -1,0 +1,8 @@
+"""Cache substrate: set-associative arrays, the split write-through L1,
+and region-tracker snoop filtering."""
+
+from repro.cache.array import CacheArray, CacheLine, is_pow2
+from repro.cache.l1 import L1Cache
+from repro.cache.region_tracker import RegionTracker
+
+__all__ = ["CacheArray", "CacheLine", "is_pow2", "L1Cache", "RegionTracker"]

@@ -1,0 +1,95 @@
+"""Region tracker: coarse-grain destination filtering for snoops.
+
+The chip embeds a RegionScout-style region tracker (4 KB regions, 128
+entries — Table 1) next to each L2.  It conservatively answers "might this
+L2 cache any line of region R?"; snoop requests to regions the L2
+provably does not cache are filtered before they consume L2 tag-array
+bandwidth.  False positives are allowed (they just cost a lookup); false
+negatives are not.
+
+Two overflow policies:
+
+* ``saturate`` (default) — out of entries, the filter goes fully
+  conservative (never filters) until regions empty out.  Simple, safe.
+* ``evict`` — the hardware-faithful alternative: the least-recently
+  inserted region is evicted and :meth:`line_inserted` returns its id so
+  the owning L2 can force-invalidate that region's cached lines (what
+  RegionScout hardware does).  Lines mid-transaction stay covered by the
+  L2's exact-address MSHR/writeback checks, so conservatism holds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+POLICIES = ("saturate", "evict")
+
+
+class RegionTracker:
+    """Counting filter over fixed-size address regions."""
+
+    def __init__(self, region_bytes: int = 4096, entries: int = 128,
+                 policy: str = "saturate") -> None:
+        if region_bytes <= 0 or region_bytes & (region_bytes - 1):
+            raise ValueError("region size must be a power of two")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; "
+                             f"known: {POLICIES}")
+        self.region_bytes = region_bytes
+        self.entries = entries
+        self.policy = policy
+        self._counts: "OrderedDict[int, int]" = OrderedDict()
+        self.saturated = False  # ran out of entries -> filter disabled
+        self.region_evictions = 0
+
+    def region_of(self, addr: int) -> int:
+        """Region index containing *addr*."""
+        return addr // self.region_bytes
+
+    def line_inserted(self, addr: int) -> Optional[int]:
+        """Track one inserted line.
+
+        Under the ``evict`` policy, returns the id of a region the
+        caller must force-invalidate (its entry was evicted to make
+        room); otherwise returns None.
+        """
+        region = self.region_of(addr)
+        if region in self._counts:
+            self._counts[region] += 1
+            self._counts.move_to_end(region)
+            return None
+        if len(self._counts) >= self.entries:
+            if self.policy == "saturate":
+                # Table overflow: become conservative (never filter)
+                # until enough regions empty out.
+                self.saturated = True
+                return None
+            victim, _count = self._counts.popitem(last=False)
+            self._counts[region] = 1
+            self.region_evictions += 1
+            return victim
+        self._counts[region] = 1
+        return None
+
+    def line_evicted(self, addr: int) -> None:
+        region = self.region_of(addr)
+        count = self._counts.get(region)
+        if count is None:
+            return  # line tracked only by the saturation flag
+        if count <= 1:
+            del self._counts[region]
+            if not self._counts:
+                self.saturated = False
+        else:
+            self._counts[region] = count - 1
+
+    def may_cache(self, addr: int) -> bool:
+        """Conservative membership: False means "provably not cached"."""
+        if self.saturated:
+            return True
+        return self.region_of(addr) in self._counts
+
+    def tracked_regions(self) -> int:
+        """Number of regions with live entries."""
+        return len(self._counts)

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run`` — one benchmark under one protocol, printing the run summary.
+* ``compare`` — the same benchmark under several protocols, printing
+  runtimes normalized to LPD-D (the Figure 6a view).
+* ``figure`` — regenerate a paper table/figure (see ``--list``).
+* ``report`` — render a set of figures into a results directory.
+* ``trace`` — run an external trace file (the Graphite-traces flow).
+* ``features`` — print the Table 1 chip feature summary.
+* ``litmus`` — run the sequential-consistency litmus suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import (PROTOCOLS, compare_protocols,
+                            normalized_runtimes, run_benchmark,
+                            run_trace_file)
+from repro.core.config import CHIP_FEATURES, ChipConfig
+
+
+def _chip(args) -> ChipConfig:
+    width, height = args.mesh
+    if (width, height) == (6, 6):
+        config = ChipConfig.chip_36core()
+    else:
+        config = ChipConfig.variant(width, height)
+    return config
+
+
+def _mesh(text: str):
+    try:
+        width, height = (int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like '6x6', got {text!r}")
+    if width < 2 or height < 2:
+        raise argparse.ArgumentTypeError("mesh must be at least 2x2")
+    return width, height
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCORPIO (ISCA 2014) reproduction: ordered-mesh "
+                    "snoopy coherence simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_options(p):
+        p.add_argument("--protocol", choices=PROTOCOLS, default="scorpio")
+        p.add_argument("--mesh", type=_mesh, default=(6, 6),
+                       help="mesh dimensions, e.g. 6x6 (default)")
+        p.add_argument("--ops", type=int, default=100,
+                       help="memory operations per core")
+        p.add_argument("--scale", type=float, default=0.05,
+                       help="workload footprint scale")
+        p.add_argument("--think-scale", type=float, default=20.0,
+                       help="think-time stretch factor")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-cycles", type=int, default=400_000)
+
+    run_p = sub.add_parser("run", help="run one benchmark")
+    run_p.add_argument("benchmark")
+    add_run_options(run_p)
+
+    cmp_p = sub.add_parser("compare", help="compare protocols")
+    cmp_p.add_argument("benchmark")
+    cmp_p.add_argument("--protocols", nargs="+", choices=PROTOCOLS,
+                       default=["lpd", "ht", "scorpio"])
+    add_run_options(cmp_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("id", nargs="?", help="figure id (e.g. fig6a)")
+    fig_p.add_argument("--list", action="store_true",
+                       help="list available figure ids")
+    fig_p.add_argument("--full", action="store_true",
+                       help="full 36-core regime (slow) instead of quick")
+    fig_p.add_argument("--seed", type=int, default=0)
+
+    trace_p = sub.add_parser("trace", help="run a trace file")
+    trace_p.add_argument("path")
+    trace_p.add_argument("--protocol", choices=PROTOCOLS,
+                         default="scorpio")
+    trace_p.add_argument("--mesh", type=_mesh, default=(6, 6))
+    trace_p.add_argument("--max-cycles", type=int, default=400_000)
+
+    report_p = sub.add_parser("report",
+                              help="render figures into a directory")
+    report_p.add_argument("directory")
+    report_p.add_argument("--figures", nargs="+", default=None,
+                          help="figure ids (default: the static set)")
+    report_p.add_argument("--full", action="store_true")
+    report_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("features", help="print Table 1 chip features")
+
+    litmus_p = sub.add_parser("litmus", help="run the SC litmus suite")
+    litmus_p.add_argument("--protocol", choices=PROTOCOLS,
+                          default="scorpio")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _print_result(result, out) -> None:
+    print(f"benchmark : {result.benchmark}", file=out)
+    print(f"protocol  : {result.protocol}", file=out)
+    print(f"cores     : {result.n_cores}", file=out)
+    print(f"runtime   : {result.runtime} cycles", file=out)
+    print(f"ops done  : {result.completed_ops} "
+          f"(progress {result.progress:.1%})", file=out)
+    if result.avg_l2_service_latency:
+        print(f"L2 service: {result.avg_l2_service_latency:.1f} cycles "
+              f"(mean)", file=out)
+
+
+def cmd_run(args, out) -> int:
+    result = run_benchmark(args.benchmark, protocol=args.protocol,
+                           config=_chip(args), ops_per_core=args.ops,
+                           max_cycles=args.max_cycles,
+                           workload_scale=args.scale,
+                           think_scale=args.think_scale, seed=args.seed)
+    _print_result(result, out)
+    return 0 if result.progress == 1.0 else 1
+
+
+def cmd_compare(args, out) -> int:
+    results = compare_protocols(args.benchmark, tuple(args.protocols),
+                                config=_chip(args), ops_per_core=args.ops,
+                                workload_scale=args.scale,
+                                think_scale=args.think_scale,
+                                seed=args.seed)
+    baseline = "lpd" if "lpd" in results else args.protocols[0]
+    norm = normalized_runtimes(results, baseline=baseline)
+    print(f"{args.benchmark}: runtime normalized to {baseline.upper()}",
+          file=out)
+    for protocol in args.protocols:
+        result = results[protocol]
+        print(f"  {protocol:<8} {norm[protocol]:.3f} "
+              f"({result.runtime} cycles)", file=out)
+    return 0
+
+
+def cmd_figure(args, out) -> int:
+    from repro.analysis.figures import figure_ids, generate
+    if args.list or not args.id:
+        print("available figures:", file=out)
+        for fig_id in figure_ids():
+            print(f"  {fig_id}", file=out)
+        return 0
+    try:
+        text = generate(args.id, quick=not args.full, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(text, file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    width, height = args.mesh
+    config = ChipConfig.chip_36core() if (width, height) == (6, 6) \
+        else ChipConfig.variant(width, height)
+    result = run_trace_file(args.path, protocol=args.protocol,
+                            config=config, max_cycles=args.max_cycles)
+    _print_result(result, out)
+    return 0 if result.progress == 1.0 else 1
+
+
+def cmd_report(args, out) -> int:
+    from repro.analysis.report import build_report
+    try:
+        artifacts = build_report(args.directory, figures=args.figures,
+                                 quick=not args.full, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    for fig_id, path in sorted(artifacts.items()):
+        print(f"  {fig_id:<10} -> {path}", file=out)
+    return 0
+
+
+def cmd_features(args, out) -> int:
+    width = max(len(k) for k in CHIP_FEATURES)
+    for key, value in CHIP_FEATURES.items():
+        print(f"{key:<{width}}  {value}", file=out)
+    return 0
+
+
+def cmd_litmus(args, out) -> int:
+    from repro.verification.litmus import run_suite
+    results = run_suite(protocol=args.protocol)
+    failures = 0
+    for name, passed in sorted(results.items()):
+        status = "ok" if passed else "FORBIDDEN OUTCOME OBSERVED"
+        if not passed:
+            failures += 1
+        print(f"  {name:<24} {status}", file=out)
+    print(f"{len(results) - failures}/{len(results)} litmus tests passed",
+          file=out)
+    return 0 if failures == 0 else 1
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figure": cmd_figure,
+    "report": cmd_report,
+    "trace": cmd_trace,
+    "features": cmd_features,
+    "litmus": cmd_litmus,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

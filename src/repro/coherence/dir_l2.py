@@ -1,0 +1,294 @@
+"""L2 cache controller variant for the directory baselines (LPD-D, HT-D).
+
+Shares the array/MSHR/writeback machinery of the snoopy
+:class:`~repro.coherence.l2_controller.L2Controller` but changes the
+protocol plumbing:
+
+* misses are **unicast** to the line's home directory slice instead of
+  broadcast — the indirection the paper's evaluation isolates;
+* there is no global order: a request completes when its data (or a
+  directory ACK, for owner upgrades) arrives;
+* the inbound stream carries :class:`DirForward` messages — data-forward
+  and invalidation requests from home directories, plus the HT-style
+  broadcast snoops — rather than ordered peer requests;
+* dirty evictions unicast their PUT to the home slice (data goes straight
+  to the memory controller), and the writeback buffer entry lives until
+  the home acknowledges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.coherence.l2_controller import CacheConfig, L2Controller, Mshr
+from repro.coherence.messages import (CoherenceRequest, CoherenceResponse,
+                                      DirForward, ReqKind, RespKind)
+from repro.coherence.mosi import Action, State, on_remote_request
+from repro.nic.controller import NetworkInterface
+from repro.sim.stats import StatsRegistry
+
+
+class DirectoryL2Controller(L2Controller):
+    """Private L2 talking to distributed home directories."""
+
+    def __init__(self, node: int, nic: NetworkInterface,
+                 memory_map: Callable[[int], int],
+                 home_map: Callable[[int], int],
+                 config: Optional[CacheConfig] = None,
+                 stats: Optional[StatsRegistry] = None,
+                 requires_marker: bool = False) -> None:
+        super().__init__(node, nic, memory_map, config, stats)
+        self.home_map = home_map
+        # Broadcast schemes (HT): every request's own snoop returns to the
+        # requester in home order; completion waits for that marker so
+        # that pre-our-request snoops can never be mistaken for
+        # post-ownership ones.
+        self.requires_marker = requires_marker
+
+    # ------------------------------------------------------------------
+    # Issue path: unicast to the home slice
+    # ------------------------------------------------------------------
+
+    def _init_mshr(self, mshr: Mshr) -> None:
+        # No global-order event exists; completion is purely data/ack
+        # driven.  Mark the ordering half of the handshake done up front.
+        mshr.ordered_seen = True
+        mshr.needs_data = True
+        mshr.req.stamp("ordered", mshr.req.issue_cycle)
+
+    def _issue(self, req: CoherenceRequest) -> None:
+        req.home_node = self.home_map(req.addr)
+        if self.nic.can_send_request():
+            self.nic.send_request(req, dst=req.home_node)
+        else:
+            self._pending_issue.append(req)
+
+    def step(self, cycle: int) -> None:
+        # Re-send queued unicasts with their home node preserved.
+        if self._delayed:
+            due = [d for d in self._delayed if d[0] <= cycle]
+            if due:
+                self._delayed = [d for d in self._delayed if d[0] > cycle]
+                for _c, fn in due:
+                    fn()
+        while self._pending_issue and self.nic.can_send_request():
+            req = self._pending_issue.popleft()
+            self.nic.send_request(req, dst=req.home_node)
+        self._drain_ordered(cycle)
+
+    # ------------------------------------------------------------------
+    # Inbound: directory forwards instead of an ordered peer stream
+    # ------------------------------------------------------------------
+
+    def _is_filtered(self, req: Any, sid: int) -> bool:
+        if not isinstance(req, DirForward):
+            return True   # home-bound requests are the directory's business
+        if req.action != "snoop":
+            return False  # unicast forwards always concern this node
+        if req.request.requester == self.node:
+            return False  # our own broadcast returning (upgrade signal)
+        if self.region_tracker is None:
+            return False
+        return (not self.region_tracker.may_cache(req.addr)
+                and req.addr not in self.wb_buffer
+                and req.addr not in self._mshr_by_addr)
+
+    def _process_ordered(self, payload: Any, sid: int, cycle: int,
+                         arrival_cycle: int) -> None:
+        if not isinstance(payload, DirForward):
+            return
+        # A data-bearing forward that hits a line we are still *acquiring*
+        # must wait for our transaction to finish (the directory believes
+        # the transfer already happened) — the equivalent of the snoopy
+        # FID list.  But while we still hold a stable owner copy (e.g. an
+        # ownership upgrade in flight), we keep serving snoops: the home
+        # ordered those before our upgrade, and deferring them would
+        # create three-way deferral cycles.  Pure invalidations always
+        # apply immediately (they only downgrade non-owner copies).
+        req = payload.request
+        if payload.action in ("fwd_data", "snoop") \
+                and req.requester != self.node \
+                and not self._stable_owner(req.addr):
+            req_id = self._mshr_by_addr.get(req.addr)
+            if req_id is not None:
+                mshr = self.mshrs[req_id]
+                if payload.action == "snoop" and not mshr.marker_seen:
+                    # This snoop left the home before our request was
+                    # serialized: it concerns the pre-acquisition state
+                    # and must be processed now, not after completion.
+                    self._handle_snoop(payload, cycle, arrival_cycle)
+                    return
+                if len(mshr.deferred) < self.config.fid_list_size:
+                    mshr.deferred.append(payload)
+                    self.stats.incr("l2.snoops.deferred")
+                else:
+                    # FID list full: stall the inbound stream (never drop
+                    # — the requester would hang waiting for data).
+                    self._ordered_queue.appendleft(
+                        (payload, sid, cycle, arrival_cycle))
+                    self.stats.incr("l2.snoops.fid_stall")
+                return
+        handler = {
+            "fwd_data": self._handle_fwd_data,
+            "invalidate": self._handle_invalidate,
+            "recall": self._handle_invalidate,
+            "snoop": self._handle_snoop,
+            "put_ack": self._handle_put_ack,
+            "upgrade_ack": self._handle_upgrade_ack,
+        }.get(payload.action)
+        if handler is None:
+            raise ValueError(f"unknown forward action {payload.action!r}")
+        handler(payload, cycle, arrival_cycle)
+
+    def _stable_owner(self, line: int) -> bool:
+        entry = self.wb_buffer.get(line)
+        if entry is not None and not entry.lost_ownership:
+            return True
+        return self.array.state_of(line).is_owner
+
+    def _handle_fwd_data(self, fwd: DirForward, cycle: int,
+                         arrival_cycle: int) -> None:
+        """Home says: you own this line, send data to the requester."""
+        req = fwd.request
+        entry = self.wb_buffer.get(req.addr)
+        if entry is not None and not entry.lost_ownership:
+            self._send_dir_data(fwd, cycle, arrival_cycle)
+            if req.kind is ReqKind.GETX:
+                entry.lost_ownership = True
+            return
+        state = self.array.state_of(req.addr)
+        if not state.is_owner:
+            # Lost race the home could not see; answer anyway so the
+            # requester never hangs (functional model, no data payloads).
+            self.stats.incr("l2.dir.forward_misses")
+        self._send_dir_data(fwd, cycle, arrival_cycle)
+        if req.kind is ReqKind.GETX:
+            if state is not State.I:
+                self.array.evict(req.addr)
+                if self.region_tracker is not None:
+                    self.region_tracker.line_evicted(req.addr)
+                if self._l1_invalidate is not None:
+                    self._l1_invalidate(req.addr)
+        elif state is State.M:
+            self.array.set_state(req.addr, State.O)
+
+    def _handle_upgrade_ack(self, fwd: DirForward, cycle: int,
+                            arrival_cycle: int) -> None:
+        """Home confirms an ownership upgrade (we already hold the data)."""
+        mshr = self.mshrs.get(fwd.request.req_id)
+        if mshr is None:
+            return
+        # No data moves: completion builds on the locally held version.
+        mshr.needs_data = False
+        mshr.served_by = mshr.served_by or "directory"
+        mshr.resp_stamps.update(fwd.stamps)
+        mshr.resp_stamps["data_arrival"] = cycle
+        self._maybe_complete(mshr, cycle)
+
+    def _handle_put_ack(self, fwd: DirForward, cycle: int,
+                        arrival_cycle: int) -> None:
+        """Home processed our PUT; the writeback buffer entry retires.
+        Ordered behind any snoops the home sent us first, so the entry is
+        guaranteed to have answered them already."""
+        self.wb_buffer.pop(fwd.request.addr, None)
+
+    def _handle_invalidate(self, fwd: DirForward, cycle: int,
+                           arrival_cycle: int) -> None:
+        state = self.array.state_of(fwd.addr)
+        if state is not State.I:
+            self.array.evict(fwd.addr)
+            if self.region_tracker is not None:
+                self.region_tracker.line_evicted(fwd.addr)
+            if self._l1_invalidate is not None:
+                self._l1_invalidate(fwd.addr)
+            self.stats.incr("l2.invalidations")
+
+    def _handle_snoop(self, fwd: DirForward, cycle: int,
+                      arrival_cycle: int) -> None:
+        """HT-style broadcast snoop: behave like a snoopy cache."""
+        req = fwd.request
+        if req.requester == self.node:
+            # Our own broadcast returning: the home-order marker.
+            mshr = self.mshrs.get(req.req_id)
+            if mshr is None:
+                return
+            mshr.marker_seen = True
+            if req.kind is ReqKind.GETX \
+                    and self.array.state_of(req.addr).is_owner:
+                # Ownership upgrade: no data will come.
+                mshr.needs_data = False
+                mshr.served_by = mshr.served_by or "directory"
+            self._maybe_complete(mshr, cycle)
+            return
+        entry = self.wb_buffer.get(req.addr)
+        if entry is not None and not entry.lost_ownership:
+            self._send_dir_data(fwd, cycle, arrival_cycle)
+            if req.kind is ReqKind.GETX:
+                entry.lost_ownership = True
+            else:
+                entry.state = State.O
+            return
+        state = self.array.state_of(req.addr)
+        transition = on_remote_request(state, req.kind)
+        if Action.SEND_DATA in transition.actions:
+            self._send_dir_data(fwd, cycle, arrival_cycle)
+        if Action.INVALIDATE_L1 in transition.actions \
+                and self._l1_invalidate is not None:
+            self._l1_invalidate(req.addr)
+        if state is not State.I and transition.next_state is State.I:
+            self.array.evict(req.addr)
+            if self.region_tracker is not None:
+                self.region_tracker.line_evicted(req.addr)
+            self.stats.incr("l2.invalidations")
+        elif transition.next_state is not state and state is not State.I:
+            self.array.set_state(req.addr, transition.next_state)
+
+    def _maybe_complete(self, mshr, cycle: int) -> None:
+        if self.requires_marker and not mshr.marker_seen:
+            return
+        super()._maybe_complete(mshr, cycle)
+
+    def _service_deferred(self, deferred: Any, cycle: int) -> None:
+        if isinstance(deferred, DirForward):
+            self._process_ordered(deferred, deferred.request.requester,
+                                  cycle, cycle)
+        else:  # pragma: no cover - defensive
+            super()._service_deferred(deferred, cycle)
+
+    def _send_dir_data(self, fwd: DirForward, cycle: int,
+                       arrival_cycle: int) -> None:
+        req = fwd.request
+        send_cycle = cycle + self.config.l2_latency
+        resp = CoherenceResponse(kind=RespKind.DATA, addr=req.addr,
+                                 dest=req.requester, requester=req.requester,
+                                 req_id=req.req_id, src=self.node,
+                                 served_by="cache",
+                                 version=self.line_version(req.addr))
+        resp.stamps.update(fwd.stamps)   # net_req + dir_access from home
+        if fwd.action == "snoop":
+            resp.stamps["bcast_net"] = max(0, arrival_cycle - fwd.sent_cycle)
+        else:
+            resp.stamps["dir_to_sharer"] = max(
+                0, arrival_cycle - fwd.sent_cycle)
+        resp.stamps["sharer_access"] = self.config.l2_latency
+        resp.stamps["data_sent"] = send_cycle
+        self._schedule(send_cycle,
+                       lambda: self.nic.send_response(resp, req.requester,
+                                                      carries_data=True))
+        self.stats.incr("l2.data_forwards")
+
+    # ------------------------------------------------------------------
+    # Writebacks: PUT to home, data to memory, entry freed on home ACK
+    # ------------------------------------------------------------------
+
+    def _evict(self, addr: int, state: State, cycle: int) -> None:
+        super()._evict(addr, state, cycle)
+        entry = self.wb_buffer.get(addr)
+        if entry is not None:
+            mc_node = self.memory_map(addr)
+            data = CoherenceResponse(kind=RespKind.WB_DATA, addr=addr,
+                                     dest=mc_node, requester=self.node,
+                                     req_id=entry.put.req_id, src=self.node,
+                                     version=entry.version)
+            self.nic.send_response(data, mc_node, carries_data=True)
+

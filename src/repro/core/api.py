@@ -1,0 +1,165 @@
+"""High-level API: build and run full-system experiments in a few lines.
+
+    from repro.core import ChipConfig, run_benchmark
+
+    result = run_benchmark("barnes", protocol="scorpio",
+                           config=ChipConfig.chip_36core(),
+                           ops_per_core=200)
+    print(result.runtime, result.avg_l2_service_latency)
+
+This is the layer the examples and the benchmark harness are written
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import ChipConfig
+from repro.systems.directory import DirectorySystem
+from repro.systems.scorpio import ScorpioSystem
+from repro.workloads.suites import profile as lookup_profile
+from repro.workloads.synthetic import (WorkloadProfile,
+                                       generate_system_traces, scaled)
+
+PROTOCOLS = ("scorpio", "lpd", "ht", "fullbit")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one full-system run."""
+
+    protocol: str
+    benchmark: str
+    n_cores: int
+    runtime: int                  # cycles until every core finished
+    completed_ops: int
+    progress: float               # 1.0 when every trace fully ran
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_l2_service_latency(self) -> float:
+        return self.stats.get("l2.miss_latency.mean", 0.0)
+
+    @property
+    def cache_served_latency(self) -> float:
+        return self.stats.get("l2.miss_latency.cache.mean", 0.0)
+
+    @property
+    def memory_served_latency(self) -> float:
+        return self.stats.get("l2.miss_latency.memory.mean", 0.0)
+
+    def breakdown(self, served: str = "cache") -> Dict[str, float]:
+        """Latency decomposition (Fig. 6b/6c categories) in mean cycles."""
+        prefix = f"l2.breakdown.{served}."
+        return {key[len(prefix):-len(".mean")]: value
+                for key, value in self.stats.items()
+                if key.startswith(prefix) and key.endswith(".mean")}
+
+
+def build_system(protocol: str, traces, config: Optional[ChipConfig] = None
+                 ) -> Union[ScorpioSystem, DirectorySystem]:
+    """Instantiate a full system of the given *protocol*."""
+    config = config or ChipConfig.chip_36core()
+    if protocol == "scorpio":
+        return ScorpioSystem(traces=traces, noc=config.noc,
+                             notification=config.notification,
+                             cache=config.cache, memory=config.memory,
+                             core=config.core, mc_nodes=config.mc_nodes,
+                             seed=config.seed)
+    if protocol in ("lpd", "ht", "fullbit"):
+        from repro.coherence.directory import DirectoryConfig
+        dir_config = DirectoryConfig(
+            scheme=protocol.upper(), n_nodes=config.noc.n_nodes,
+            total_cache_bytes=config.directory_cache_bytes,
+            line_size=config.noc.line_size_bytes)
+        return DirectorySystem(scheme=protocol.upper(), traces=traces,
+                               noc=config.noc, cache=config.cache,
+                               memory=config.memory, core=config.core,
+                               directory=dir_config,
+                               mc_nodes=config.mc_nodes, seed=config.seed)
+    raise ValueError(f"unknown protocol {protocol!r}; expected one of "
+                     f"{PROTOCOLS}")
+
+
+def run_benchmark(benchmark: Union[str, WorkloadProfile],
+                  protocol: str = "scorpio",
+                  config: Optional[ChipConfig] = None,
+                  ops_per_core: int = 150,
+                  max_cycles: int = 400_000,
+                  workload_scale: float = 1.0,
+                  think_scale: float = 1.0,
+                  seed: int = 0) -> RunResult:
+    """Run one benchmark under one protocol and collect the statistics.
+
+    ``max_cycles`` mirrors the paper's 400 K-cycle trace-driven windows;
+    runs normally finish far earlier.  ``workload_scale`` shrinks the
+    synthetic footprints for quick runs.
+    """
+    config = config or ChipConfig.chip_36core()
+    if isinstance(benchmark, str):
+        prof = lookup_profile(benchmark)
+    else:
+        prof = benchmark
+    if workload_scale != 1.0 or think_scale != 1.0:
+        prof = scaled(prof, workload_scale, think_scale)
+    traces = generate_system_traces(prof, config.n_cores, ops_per_core,
+                                    seed=seed)
+    system = build_system(protocol, traces, config)
+    runtime = system.run_until_done(max_cycles)
+    return RunResult(
+        protocol=protocol,
+        benchmark=prof.name,
+        n_cores=config.n_cores,
+        runtime=runtime,
+        completed_ops=system.total_completed_ops(),
+        progress=system.progress(),
+        stats=system.stats.snapshot(),
+    )
+
+
+def run_trace_file(path, protocol: str = "scorpio",
+                   config: Optional[ChipConfig] = None,
+                   max_cycles: int = 400_000) -> RunResult:
+    """Run an externally produced trace file (see
+    :mod:`repro.cpu.tracefile`) under one protocol — the equivalent of
+    the paper's Graphite-traces-into-RTL flow."""
+    from repro.cpu.tracefile import load_traces
+    config = config or ChipConfig.chip_36core()
+    traces = load_traces(path, expect_cores=config.n_cores)
+    system = build_system(protocol, traces, config)
+    runtime = system.run_until_done(max_cycles)
+    return RunResult(
+        protocol=protocol,
+        benchmark=str(path),
+        n_cores=config.n_cores,
+        runtime=runtime,
+        completed_ops=system.total_completed_ops(),
+        progress=system.progress(),
+        stats=system.stats.snapshot(),
+    )
+
+
+def compare_protocols(benchmark: str,
+                      protocols=PROTOCOLS,
+                      config: Optional[ChipConfig] = None,
+                      ops_per_core: int = 150,
+                      workload_scale: float = 1.0,
+                      think_scale: float = 1.0,
+                      seed: int = 0) -> Dict[str, RunResult]:
+    """Run the same workload under several protocols (Fig. 6a rows)."""
+    return {protocol: run_benchmark(benchmark, protocol, config,
+                                    ops_per_core=ops_per_core,
+                                    workload_scale=workload_scale,
+                                    think_scale=think_scale, seed=seed)
+            for protocol in protocols}
+
+
+def normalized_runtimes(results: Dict[str, RunResult],
+                        baseline: str = "lpd") -> Dict[str, float]:
+    """Runtimes normalized to *baseline* (the paper normalizes to LPD-D)."""
+    base = results[baseline].runtime
+    if base <= 0:
+        raise ValueError("baseline runtime is zero")
+    return {name: result.runtime / base for name, result in results.items()}

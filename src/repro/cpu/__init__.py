@@ -1,0 +1,6 @@
+"""Core models: trace injectors with the chip's AHB two-outstanding cap."""
+
+from repro.cpu.core import CoreConfig, TraceCore
+from repro.cpu.trace import Trace, TraceOp
+
+__all__ = ["CoreConfig", "TraceCore", "Trace", "TraceOp"]

@@ -1,0 +1,134 @@
+"""Trace-injector core model with the chip's AHB constraints.
+
+The Freescale e200 core talks to the L2 through AMBA AHB, which permits a
+single outstanding transaction per port; with split I/D ports that caps
+each core at **two outstanding misses** (Sec. 4.1).  The injector model
+honours that cap, issues operations in trace order, and separates them by
+the trace's think times.
+
+An optional write-through L1 filters traffic before it reaches the L2 and
+is invalidated through the external invalidation port when the L2 loses a
+line (inclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.l1 import L1Cache
+from repro.coherence.l2_controller import L2Controller
+from repro.cpu.trace import Trace, TraceOp
+from repro.sim.engine import Clocked
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class CoreConfig:
+    max_outstanding: int = 2     # AHB: one D-side + one I-side transaction
+    l1_enabled: bool = True
+    l1_latency: int = 2
+
+
+class TraceCore(Clocked):
+    """One tile's core: replays a trace against the cache hierarchy."""
+
+    def __init__(self, node: int, l2: L2Controller, trace: Trace,
+                 config: Optional[CoreConfig] = None,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        self.node = node
+        self.l2 = l2
+        self.trace = trace
+        self.config = config or CoreConfig()
+        self.stats = stats or StatsRegistry()
+        self.l1: Optional[L1Cache] = (
+            L1Cache(hit_latency=self.config.l1_latency, stats=self.stats,
+                    name=f"core{node}.l1d")
+            if self.config.l1_enabled else None)
+        self._pc = 0                       # next trace index
+        # The first operation's think time offsets it from cycle 0, so a
+        # trace can schedule its opening access deterministically.
+        self._next_issue_cycle = trace[0].think if len(trace) else 0
+        self._outstanding: Dict[int, TraceOp] = {}
+        self._token_seq = 0
+        self._l1_completions: List[Tuple[int, int]] = []
+        self.completed_ops = 0
+        self.finish_cycle: Optional[int] = None
+        l2.set_completion_callback(self._on_l2_complete)
+        if self.l1 is not None:
+            l2.set_l1_invalidate(self.l1.invalidate)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_cycle is not None
+
+    def step(self, cycle: int) -> None:
+        self._drain_l1_completions(cycle)
+        if self.finished:
+            return
+        if self._pc >= len(self.trace):
+            if not self._outstanding and not self._l1_completions:
+                self.finish_cycle = cycle
+            return
+        if len(self._outstanding) >= self.config.max_outstanding:
+            self.stats.incr("core.stalls.outstanding")
+            return
+        if cycle < self._next_issue_cycle:
+            return
+        op = self.trace[self._pc]
+        if not self._issue(op, cycle):
+            self.stats.incr("core.stalls.l2")
+            return
+        self._pc += 1
+        next_think = (self.trace[self._pc].think
+                      if self._pc < len(self.trace) else 0)
+        self._next_issue_cycle = cycle + max(1, next_think)
+
+    def commit(self, cycle: int) -> None:
+        pass
+
+    def _issue(self, op: TraceOp, cycle: int) -> bool:
+        if self.l1 is not None:
+            if op.op == "R" and self.l1.read(op.addr):
+                self._l1_completions.append(
+                    (cycle + self.config.l1_latency, op.addr))
+                return True
+            if op.op in ("W", "A"):
+                # Write-through: L1 state updates, but the store always
+                # continues to the L2 (atomics always go to the L2).
+                self.l1.write(op.addr)
+        token = self._token_seq
+        if not self.l2.core_request(op.op, op.addr, cycle, token=token):
+            return False
+        self._token_seq += 1
+        self._outstanding[token] = op
+        self.stats.incr("core.l2_requests")
+        return True
+
+    def _drain_l1_completions(self, cycle: int) -> None:
+        if not self._l1_completions:
+            return
+        remaining = []
+        for done_cycle, _addr in self._l1_completions:
+            if done_cycle <= cycle:
+                self.completed_ops += 1
+                self.stats.incr("core.ops_completed")
+            else:
+                remaining.append((done_cycle, _addr))
+        self._l1_completions = remaining
+
+    def _on_l2_complete(self, token: int, cycle: int,
+                        version: int = 0) -> None:
+        op = self._outstanding.pop(token, None)
+        if op is None:
+            return
+        self.completed_ops += 1
+        self.stats.incr("core.ops_completed")
+        if self.l1 is not None and op.op == "R":
+            self.l1.refill(op.addr)
+
+    def progress(self) -> float:
+        """Fraction of the trace completed (for harness reporting)."""
+        return self.completed_ops / len(self.trace) if len(self.trace) else 1.0

@@ -1,0 +1,237 @@
+"""On-chip memory controllers.
+
+Two controllers sit at mesh-edge nodes (four in the 64/100-core variants)
+and split the physical address space by interleaving.  Following the
+paper's own RTL methodology, DRAM is a functional, fully-pipelined
+fixed-latency model (90 cycles total: a ~10-cycle lookup plus an 80-cycle
+off-chip access).
+
+In SCORPIO (snoopy) mode the controller snoops the globally ordered
+request stream like any other node and keeps, per line, the equivalent of
+the chip's "directory cache" owner/dirty bits: *which* node owns the line,
+or ``None`` when memory does.  It must answer exactly the requests no
+cache owner will answer, and it must hold requests that race with an
+in-flight writeback (the "valid bit" of Sec. 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.coherence.messages import (CoherenceRequest, CoherenceResponse,
+                                      MemRead, ReqKind, RespKind)
+from repro.nic.controller import NetworkInterface
+from repro.sim.engine import Clocked
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class MemoryConfig:
+    lookup_latency: int = 10      # owner-bit / directory-cache access
+    dram_latency: int = 80        # off-chip access beyond the lookup
+    line_size: int = 32
+    # Optional banked DDR2 timing (repro.memory.dram) instead of the
+    # paper's fixed fully-pipelined latency; ``dram_config`` falls back
+    # to DramConfig defaults when left None.
+    banked: bool = False
+    dram_config: Optional[object] = None
+
+
+def make_memory_map(mc_nodes: List[int],
+                    line_size: int = 32) -> Callable[[int], int]:
+    """Address-interleaved home-MC mapping (line granularity)."""
+    if not mc_nodes:
+        raise ValueError("need at least one memory controller node")
+    nodes = list(mc_nodes)
+
+    def memory_map(addr: int) -> int:
+        return nodes[(addr // line_size) % len(nodes)]
+
+    return memory_map
+
+
+class MemoryController(Clocked):
+    """One edge memory controller participating in snoopy coherence."""
+
+    def __init__(self, node: int, nic: NetworkInterface,
+                 owns_addr: Callable[[int], bool],
+                 config: Optional[MemoryConfig] = None,
+                 stats: Optional[StatsRegistry] = None,
+                 snoopy: bool = True) -> None:
+        self.node = node
+        self.nic = nic
+        self.owns_addr = owns_addr
+        self.config = config or MemoryConfig()
+        self.stats = stats or StatsRegistry()
+        # In directory systems the MC is a dumb DRAM backend: it only
+        # serves MemRead messages from home directories and never runs
+        # the snoopy owner-bit logic.
+        self.snoopy = snoopy
+        # line -> owning node id; absent means memory owns the line.
+        self.owner: Dict[int, int] = {}
+        # Request ids already seen: a second sighting is a retry (TokenB
+        # baseline), and memory acts as the persistent-request fallback.
+        self._seen_req_ids: Dict[int, int] = {}
+        # Store-count versions of lines whose current data is in DRAM.
+        self.versions: Dict[int, int] = {}
+        # Lines whose PUT is ordered but whose data has not arrived yet.
+        self.wb_pending: Dict[int, bool] = {}
+        self.waiting: Dict[int, Deque[Tuple[CoherenceRequest, int]]] = {}
+        self._delayed: List[Tuple[int, Callable[[], None]]] = []
+        self.dram = None
+        if self.config.banked:
+            from repro.memory.dram import DramConfig, DramModel
+            dram_config = self.config.dram_config or DramConfig(
+                line_size=self.config.line_size)
+            self.dram = DramModel(dram_config, self.stats,
+                                  name=f"dram.mc{node}")
+        nic.add_request_listener(self._on_ordered_request)
+        nic.add_response_listener(self._on_response)
+
+    # ------------------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr & ~(self.config.line_size - 1)
+
+    def _on_ordered_request(self, payload: Any, sid: int, cycle: int,
+                            arrival_cycle: int) -> None:
+        if isinstance(payload, MemRead):
+            self._serve_mem_read(payload, cycle, arrival_cycle)
+            return
+        if not self.snoopy or not isinstance(payload, CoherenceRequest):
+            return
+        line = self.line_addr(payload.addr)
+        if not self.owns_addr(line):
+            return
+        if payload.kind is ReqKind.PUT:
+            self._put_ordered(payload, sid, line)
+            return
+        self._request_ordered(payload, line, cycle)
+
+    def _put_ordered(self, req: CoherenceRequest, sid: int,
+                     line: int) -> None:
+        if self.owner.get(line) != sid:
+            # Stale PUT: the evictor lost ownership to an earlier-ordered
+            # GETX and will not send data; nothing changes.
+            self.stats.incr("mc.puts.stale")
+            return
+        del self.owner[line]
+        self.wb_pending[line] = True
+        self.stats.incr("mc.puts.accepted")
+
+    def _request_ordered(self, req: CoherenceRequest, line: int,
+                         cycle: int) -> None:
+        owner = self.owner.get(line)
+        seen = self._seen_req_ids.get(req.req_id, 0)
+        self._seen_req_ids[req.req_id] = seen + 1
+        if seen:
+            # A retry: the cache-to-cache transfer failed (unordered
+            # races, TokenB baseline).  Memory resolves it like a
+            # persistent request would.
+            if req.kind is ReqKind.GETX:
+                self.owner[line] = req.requester
+            if not self.wb_pending.get(line):
+                self._serve_from_dram(req, cycle)
+                self.stats.incr("mc.retry_rescues")
+            return
+        if req.kind is ReqKind.GETX:
+            # Whoever wins the order owns the line from this point on.
+            previous = owner
+            self.owner[line] = req.requester
+            if previous is not None:
+                self.stats.incr("mc.getx.cache_owned")
+                return  # the previous owner (a cache) supplies data
+            if previous == req.requester:  # pragma: no cover - upgrade
+                return
+        elif owner is not None:
+            self.stats.incr("mc.gets.cache_owned")
+            return  # a cache owner will respond
+        # Memory must supply the data (possibly after an in-flight WB).
+        if self.wb_pending.get(line):
+            self.waiting.setdefault(line, deque()).append((req, cycle))
+            self.stats.incr("mc.requests.wb_blocked")
+            return
+        self._serve_from_dram(req, cycle)
+
+    def _dram_latency(self, addr: int, issue_cycle: int) -> int:
+        """Off-chip access time beyond the lookup: fixed (the paper's
+        functional model) or banked DDR2 timing."""
+        if self.dram is None:
+            return self.config.dram_latency
+        return self.dram.access(addr, issue_cycle) - issue_cycle
+
+    def _serve_from_dram(self, req: CoherenceRequest, cycle: int) -> None:
+        lookup = self.config.lookup_latency
+        latency = lookup + self._dram_latency(req.addr, cycle + lookup)
+        send_cycle = cycle + latency
+        resp = CoherenceResponse(kind=RespKind.MEM_DATA, addr=req.addr,
+                                 dest=req.requester, requester=req.requester,
+                                 req_id=req.req_id, src=self.node,
+                                 served_by="memory",
+                                 version=self.versions.get(
+                                     self.line_addr(req.addr), 0))
+        inject = req.stamps.get("inject", req.issue_cycle)
+        resp.stamps["bcast_net"] = max(0, cycle - inject)
+        resp.stamps["mem_access"] = latency
+        resp.stamps["data_sent"] = send_cycle
+        self._delayed.append(
+            (send_cycle,
+             lambda: self.nic.send_response(resp, req.requester,
+                                            carries_data=True)))
+        self.stats.incr("mc.dram_reads")
+
+    def _serve_mem_read(self, msg: MemRead, cycle: int,
+                        arrival_cycle: int) -> None:
+        """Directory mode: home asked us to serve *msg.request* from DRAM."""
+        req = msg.request
+        latency = self._dram_latency(req.addr, cycle)
+        send_cycle = cycle + latency
+        resp = CoherenceResponse(kind=RespKind.MEM_DATA, addr=req.addr,
+                                 dest=req.requester, requester=req.requester,
+                                 req_id=req.req_id, src=self.node,
+                                 served_by="memory",
+                                 version=self.versions.get(
+                                     self.line_addr(req.addr), 0))
+        resp.stamps.update(msg.stamps)   # net_req + dir_access from home
+        resp.stamps["dir_to_mem"] = max(0, arrival_cycle - msg.sent_cycle)
+        resp.stamps["mem_access"] = latency
+        resp.stamps["data_sent"] = send_cycle
+        self._delayed.append(
+            (send_cycle,
+             lambda: self.nic.send_response(resp, req.requester,
+                                            carries_data=True)))
+        self.stats.incr("mc.dram_reads")
+
+    def _on_response(self, payload: Any, cycle: int) -> None:
+        if not isinstance(payload, CoherenceResponse):
+            return
+        if payload.kind is not RespKind.WB_DATA or payload.dest != self.node:
+            return
+        line = self.line_addr(payload.addr)
+        if not self.owns_addr(line):
+            return
+        self.wb_pending.pop(line, None)
+        self.versions[line] = max(self.versions.get(line, 0),
+                                  payload.version)
+        self.stats.incr("mc.writebacks_received")
+        for req, queued_cycle in self.waiting.pop(line, ()):  # drain in order
+            self._serve_from_dram(req, cycle)
+
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        if not self._delayed:
+            return
+        due = [d for d in self._delayed if d[0] <= cycle]
+        if due:
+            self._delayed = [d for d in self._delayed if d[0] > cycle]
+            for _c, fn in due:
+                fn()
+
+    def commit(self, cycle: int) -> None:
+        pass
+
+    def idle(self) -> bool:
+        return not self._delayed and not self.wb_pending and not self.waiting

@@ -1,0 +1,6 @@
+"""Network interface controllers bridging cache controllers and the two
+SCORPIO networks."""
+
+from repro.nic.controller import INJECT_TO_ROUTER_DELAY, NetworkInterface
+
+__all__ = ["NetworkInterface", "INJECT_TO_ROUTER_DELAY"]

@@ -1,0 +1,384 @@
+"""Network interface controller (Sec. 3.4, Figure 4).
+
+The NIC sits between the cache controller (AMBA ACE-style channels in the
+chip; plain callbacks here) and the two networks:
+
+* **Sending** — coherence requests become single-flit GO-REQ broadcast
+  packets; responses become UO-RESP unicasts (multi-flit when carrying
+  data).  For every request sent, a notification must later be broadcast;
+  a counter tracks how many notifications remain unsent, and when it hits
+  its cap the NIC back-pressures new requests.
+* **Notifications** — at window starts the NIC announces pending request
+  counts (its field of the bit-vector); at window ends it receives the
+  merged vector.  A full tracker queue raises the "stop" bit, which makes
+  every node discard that window's merged message and re-send later.
+* **Receiving** — UO-RESP packets forward to the cache controller in any
+  order; GO-REQ packets are held until their SID matches the ESID derived
+  from the notification tracker, enforcing the global order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.noc.config import NocConfig, NotificationConfig
+from repro.noc.packet import Packet, VNet
+from repro.noc.router import LOOKAHEAD_DELAY, Lookahead, Router
+from repro.noc.routing import LOCAL
+from repro.noc.sid_tracker import SidTracker
+from repro.noc.vc import CreditTracker
+from repro.notification.tracker import NotificationTracker
+from repro.sim.engine import Clocked
+from repro.sim.stats import StatsRegistry
+
+INJECT_TO_ROUTER_DELAY = 2   # NIC "ST" + injection link
+
+
+class NetworkInterface(Clocked):
+    """One node's NIC, bridging cache controller and both networks."""
+
+    def __init__(self, node: int, noc_config: NocConfig,
+                 notif_config: NotificationConfig,
+                 stats: Optional[StatsRegistry] = None,
+                 ordering_enabled: bool = True) -> None:
+        self.node = node
+        self.noc_config = noc_config
+        self.notif_config = notif_config
+        self.stats = stats or StatsRegistry()
+        self.router: Optional[Router] = None
+        # Directory baselines run the same NIC with ordering disabled:
+        # requests become plain (unicast or broadcast) packets delivered
+        # in arrival order, and the notification network stays silent.
+        self.ordering_enabled = ordering_enabled
+
+        self.tracker = NotificationTracker(
+            noc_config.n_nodes, notif_config.bits_per_core,
+            notif_config.tracker_queue_depth)
+
+        # --- send side ---------------------------------------------------
+        self._inject_queues: Dict[VNet, Deque[Packet]] = {
+            VNet.GO_REQ: deque(), VNet.UO_RESP: deque()}
+        self._inject_credits: Optional[CreditTracker] = None
+        self._inject_sid_tracker = SidTracker()
+        self.pending_notifications = 0   # announced later, capped
+        self._last_announced = 0
+        self._enabled = True             # cleared by a merged stop bit
+        self._sent_requests = 0          # per-source GO-REQ sequence
+        self._consumed_counts: Dict[int, int] = {}
+
+        # --- receive side ------------------------------------------------
+        self._arrivals: List[Tuple[int, Packet, VNet, int]] = []
+        self._held_goreq: Dict[int, Tuple[Packet, int, int]] = {}
+        self._req_fifo: Deque[Tuple[Packet, int, int]] = deque()
+        self._resp_queue: Deque[Tuple[Packet, int]] = deque()
+        self._credit_returns: List[Tuple[int, VNet, int, int]] = []
+        self._request_listeners: List[Callable[[Any, int, int, int], None]] = []
+        self._response_listeners: List[Callable[[Any, int], None]] = []
+        # Back-pressure from the cache controller: when the gate returns
+        # False the NIC pauses the ordered stream (ESID does not advance).
+        self.accept_gate: Optional[Callable[[], bool]] = None
+        # Uncore pipelining knob (Sec. 5.3): cycles between deliveries.
+        self.service_interval = 1 if noc_config.nic_pipelined else 4
+        self._next_service_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_router(self, router: Router) -> None:
+        """Connect to the main-network router at this node."""
+        self.router = router
+        uoresp_depth = max(self.noc_config.uoresp_vc_depth,
+                           self.noc_config.data_flits)
+        self._inject_credits = CreditTracker(
+            self.noc_config.goreq_vcs, self.noc_config.goreq_vc_depth,
+            self.noc_config.uoresp_vcs, uoresp_depth,
+            self.noc_config.reserved_vc)
+
+    def add_request_listener(
+            self, fn: Callable[[Any, int, int, int], None]) -> None:
+        """fn(payload, sid, order_cycle, arrival_cycle) is called for every
+        globally ordered request, in order — including this node's own.
+        ``arrival_cycle`` is when the packet reached this NIC;
+        ``order_cycle`` is when the global order released it."""
+        self._request_listeners.append(fn)
+
+    def add_response_listener(self, fn: Callable[[Any, int], None]) -> None:
+        """fn(payload, cycle) is called for every received response."""
+        self._response_listeners.append(fn)
+
+    # ------------------------------------------------------------------
+    # Cache-controller facing API
+    # ------------------------------------------------------------------
+
+    def can_send_request(self) -> bool:
+        """Back-pressure: the pending-notification counter has a cap."""
+        if not self.ordering_enabled:
+            return len(self._inject_queues[VNet.GO_REQ]) < 256
+        return (self.pending_notifications
+                + len(self._inject_queues[VNet.GO_REQ])
+                < self.notif_config.max_pending)
+
+    def send_request(self, payload: Any, dst: Optional[int] = None) -> None:
+        """Send a coherence request.
+
+        In ordered (SCORPIO) mode requests are always broadcast and *dst*
+        must be None.  In unordered (directory) mode *dst* selects the
+        home node; ``None`` still broadcasts (HyperTransport-style snoop
+        broadcasts from the home directory).
+        """
+        if not self.can_send_request():
+            raise RuntimeError(f"NIC {self.node} request queue full")
+        if self.ordering_enabled and dst is not None:
+            raise ValueError("ordered requests are broadcast; dst must be None")
+        packet = Packet(vnet=VNet.GO_REQ, src=self.node, dst=dst,
+                        sid=self.node, size_flits=1, payload=payload,
+                        seq=self._sent_requests)
+        self._sent_requests += 1
+        self._inject_queues[VNet.GO_REQ].append(packet)
+        self.stats.incr("nic.requests_sent")
+
+    def send_response(self, payload: Any, dst: int,
+                      carries_data: bool = True) -> None:
+        """Send an unordered response to *dst* (data or ack)."""
+        size = self.noc_config.data_flits if carries_data else 1
+        packet = Packet(vnet=VNet.UO_RESP, src=self.node, dst=dst,
+                        sid=self.node, size_flits=size, payload=payload)
+        self._inject_queues[VNet.UO_RESP].append(packet)
+        self.stats.incr("nic.responses_sent")
+
+    def current_esid(self) -> Optional[int]:
+        return self.tracker.current_esid()
+
+    def rvc_eligible(self, sid: int, seq: int) -> bool:
+        """May the *seq*-th request from *sid* occupy the reserved VC of a
+        port pointing at this node?
+
+        Per the paper's deadlock-freedom proof, the rVC must admit any
+        request at or above the priority of this node's expected request:
+        either this NIC has already consumed it (a transit copy bound for
+        nodes further along the broadcast tree — strictly earlier in the
+        global order than anything still pending here), or it is exactly
+        the request the ESID is waiting for.
+        """
+        if not self.ordering_enabled:
+            return False
+        consumed = self._consumed_counts.get(sid, 0)
+        if 0 <= seq < consumed:
+            return True
+        return seq == consumed and self.tracker.current_esid() == sid
+
+    # ------------------------------------------------------------------
+    # Notification network hooks
+    # ------------------------------------------------------------------
+
+    def compose_notification(self) -> int:
+        """Pulled at each window start; returns this node's vector."""
+        if not self.ordering_enabled:
+            return 0
+        if self.tracker.queue_full:
+            # Suppress everyone until our queue drains.
+            return 1 << (self.noc_config.n_nodes
+                         * self.notif_config.bits_per_core)
+        if not self._enabled:
+            return 0
+        count = min(self.pending_notifications,
+                    self.notif_config.max_requests_per_window)
+        if count == 0:
+            return 0
+        self.pending_notifications -= count
+        self._last_announced = count
+        return count << (self.node * self.notif_config.bits_per_core)
+
+    def receive_merged_notification(self, vector: int) -> None:
+        """Sink called at each window end with the merged vector."""
+        stop_bit = self.noc_config.n_nodes * self.notif_config.bits_per_core
+        if vector >> stop_bit & 1:
+            # Some tracker queue is full: everyone ignores this window and
+            # re-announces later.
+            self.pending_notifications += self._last_announced
+            self._last_announced = 0
+            self._enabled = False
+            self.stats.incr("nic.windows_stopped")
+            return
+        self._enabled = True
+        self._last_announced = 0
+        core_bits = vector & ((1 << stop_bit) - 1)
+        if core_bits:
+            self.tracker.push(core_bits)
+
+    # ------------------------------------------------------------------
+    # Main-network downstream interface (ejection side)
+    # ------------------------------------------------------------------
+
+    def deliver_packet(self, packet: Packet, inport: int, vnet: VNet,
+                       vc_index: int, arrive_cycle: int) -> None:
+        self._arrivals.append((arrive_cycle, packet, vnet, vc_index))
+
+    def deliver_lookahead(self, la: Lookahead, process_cycle: int) -> None:
+        pass  # the NIC has no crossbar to pre-allocate
+
+    def queue_credit_release(self, outport: int, vnet: VNet, vc: int,
+                             flits: int, cycle: int) -> None:
+        """Router's LOCAL input VC freed — injection credit returns."""
+        self._credit_returns.append((cycle, vnet, vc, flits))
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+
+    def _quiet(self) -> bool:
+        """True when this cycle's step can be skipped entirely."""
+        return not (self._credit_returns or self._arrivals
+                    or self._held_goreq or self._req_fifo
+                    or self._resp_queue
+                    or self._inject_queues[VNet.GO_REQ]
+                    or self._inject_queues[VNet.UO_RESP])
+
+    def step(self, cycle: int) -> None:
+        if self._quiet():
+            return   # nothing in flight at this NIC
+        self._apply_credit_returns(cycle)
+        self._accept_arrivals(cycle)
+        self._deliver_ordered(cycle)
+        self._deliver_responses(cycle)
+        self._inject(cycle)
+
+    def commit(self, cycle: int) -> None:
+        pass
+
+    def _apply_credit_returns(self, cycle: int) -> None:
+        if not self._credit_returns:
+            return
+        due = [e for e in self._credit_returns if e[0] <= cycle]
+        if not due:
+            return
+        self._credit_returns = [e for e in self._credit_returns
+                                if e[0] > cycle]
+        for _cycle, vnet, vc, flits in due:
+            self._inject_credits.release(vnet, vc, flits)
+            if vnet == VNet.GO_REQ and self._inject_credits.vc_free(vnet, vc):
+                self._inject_sid_tracker.clear_vc(vc)
+
+    def _accept_arrivals(self, cycle: int) -> None:
+        if not self._arrivals:
+            return
+        due = [a for a in self._arrivals if a[0] <= cycle]
+        if not due:
+            return
+        self._arrivals = [a for a in self._arrivals if a[0] > cycle]
+        for arrive_cycle, packet, vnet, vc_index in due:
+            if vnet == VNet.GO_REQ:
+                if not self.ordering_enabled:
+                    self._req_fifo.append((packet, vc_index, arrive_cycle))
+                    continue
+                if packet.sid in self._held_goreq:
+                    raise RuntimeError(
+                        f"NIC {self.node}: two held requests share SID "
+                        f"{packet.sid} — point-to-point ordering violated")
+                self._held_goreq[packet.sid] = (packet, vc_index, arrive_cycle)
+            else:
+                self._resp_queue.append((packet, vc_index))
+
+    def _deliver_ordered(self, cycle: int) -> None:
+        """Forward the expected request(s) to the cache controller."""
+        if cycle < self._next_service_cycle:
+            return
+        if not self.ordering_enabled:
+            if not self._req_fifo:
+                return
+            if self.accept_gate is not None and not self.accept_gate():
+                self.stats.incr("nic.backpressure_stalls")
+                return
+            packet, vc_index, arrive_cycle = self._req_fifo.popleft()
+            self._return_eject_credit(cycle, packet, VNet.GO_REQ, vc_index)
+            for listener in self._request_listeners:
+                listener(packet.payload, packet.sid, cycle, arrive_cycle)
+            self.stats.incr("nic.requests_delivered")
+            self._next_service_cycle = cycle + self.service_interval
+            return
+        esid = self.tracker.current_esid()
+        if esid is None or esid not in self._held_goreq:
+            return
+        if self.accept_gate is not None and not self.accept_gate():
+            self.stats.incr("nic.backpressure_stalls")
+            return
+        packet, vc_index, arrive_cycle = self._held_goreq.pop(esid)
+        self.tracker.consume_esid()
+        self._consumed_counts[esid] = self._consumed_counts.get(esid, 0) + 1
+        self._return_eject_credit(cycle, packet, VNet.GO_REQ, vc_index)
+        for listener in self._request_listeners:
+            listener(packet.payload, packet.sid, cycle, arrive_cycle)
+        self.stats.incr("nic.requests_delivered")
+        self.stats.observe("nic.order_latency",
+                           cycle - packet.inject_cycle)
+        self.stats.observe("nic.ordering_wait", cycle - arrive_cycle)
+        self._next_service_cycle = cycle + self.service_interval
+
+    def _deliver_responses(self, cycle: int) -> None:
+        # Responses are unordered; drain freely (they only pace on the
+        # shared service interval when the uncore is not pipelined).
+        while self._resp_queue:
+            if not self.noc_config.nic_pipelined \
+                    and cycle < self._next_service_cycle:
+                break
+            packet, vc_index = self._resp_queue.popleft()
+            self._return_eject_credit(cycle, packet, VNet.UO_RESP, vc_index)
+            for listener in self._response_listeners:
+                listener(packet.payload, cycle)
+            self.stats.incr("nic.responses_delivered")
+            if not self.noc_config.nic_pipelined:
+                self._next_service_cycle = cycle + self.service_interval
+
+    def _return_eject_credit(self, cycle: int, packet: Packet, vnet: VNet,
+                             vc_index: int) -> None:
+        self.router.queue_credit_release(LOCAL, vnet, vc_index,
+                                         packet.size_flits, cycle + 1)
+
+    def _inject(self, cycle: int) -> None:
+        for vnet in (VNet.GO_REQ, VNet.UO_RESP):
+            queue = self._inject_queues[vnet]
+            if not queue:
+                continue
+            packet = queue[0]
+            if vnet == VNet.GO_REQ \
+                    and self._inject_sid_tracker.blocks(packet.sid):
+                continue  # point-to-point ordering at the injection port
+            vc = self._free_inject_vc(vnet)
+            if vc is None:
+                continue
+            queue.popleft()
+            packet.inject_cycle = cycle
+            if hasattr(packet.payload, "stamp"):
+                packet.payload.stamp("inject", cycle)
+            self._inject_credits.consume(vnet, vc, packet.size_flits)
+            if vnet == VNet.GO_REQ:
+                self._inject_sid_tracker.record(vc, packet.sid)
+                if self.ordering_enabled:
+                    self.pending_notifications += 1
+            if self.noc_config.lookahead_bypass:
+                self.router.deliver_lookahead(
+                    Lookahead(packet=packet, inport=LOCAL),
+                    process_cycle=cycle + LOOKAHEAD_DELAY)
+            self.router.deliver_packet(
+                packet, LOCAL, vnet, vc,
+                arrive_cycle=cycle + INJECT_TO_ROUTER_DELAY)
+            self.stats.incr("nic.packets_injected")
+
+    def _free_inject_vc(self, vnet: VNet) -> Optional[int]:
+        free = self._inject_credits.free_normal_vcs(vnet)
+        return free[0] if free else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def idle(self) -> bool:
+        return (not self._arrivals and not self._held_goreq
+                and not self._req_fifo
+                and not self._resp_queue
+                and not self._inject_queues[VNet.GO_REQ]
+                and not self._inject_queues[VNet.UO_RESP]
+                and self.pending_notifications == 0
+                and self.tracker.current_esid() is None)

@@ -1,0 +1,504 @@
+"""The SCORPIO main-network router (Sec. 3.2 of the paper).
+
+Pipeline model
+--------------
+The fabricated router has three stages — BW+SA-I, SA-O+VS, ST — plus a
+one-stage link, with *lookahead bypassing* collapsing the router to a
+single stage when a lookahead pre-allocates the crossbar, and
+*single-cycle multicast* forking broadcast flits through several output
+ports at once.
+
+This simulator arbitrates once per packet (standing in for the SA-I/SA-O
+pair) with timing calibrated to the paper's stage counts:
+
+* buffered path: a packet arriving at cycle ``t`` may win arbitration at
+  ``t+2`` (BW/SA-I at ``t``, SA-O/VS at ``t+1``, ST at ``t+2``) and is
+  delivered to the next router at ``t+4`` — 3 router stages + 1 link.
+* bypass path: a lookahead processed at cycle ``v`` pre-allocates the
+  crossbar for its packet arriving at ``v+1``; the packet then performs
+  only ST and is delivered to the next router at ``v+3`` — 1 router
+  stage + 1 link.
+
+Priorities follow the paper: buffered packets in reserved VCs beat
+lookaheads, which beat normal buffered packets; ties resolve by rotating
+priority.  Point-to-point ordering is enforced with per-output-port SID
+trackers, and deadlock avoidance uses one reserved VC (rVC) per input
+port, assignable only to the request whose SID equals the ESID of the NIC
+attached to the downstream router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.noc.arbiter import RotatingPriorityArbiter
+from repro.noc.config import NocConfig
+from repro.noc.packet import Packet, VNet
+from repro.noc.routing import (DIRECTIONS, LOCAL, broadcast_outports,
+                               opposite, xy_route)
+from repro.noc.sid_tracker import SidTracker
+from repro.noc.vc import CreditTracker, InputPort
+from repro.sim.engine import Clocked
+from repro.sim.stats import StatsRegistry
+
+# Pipeline latency constants (cycles), per the module docstring.
+BUFFERED_PIPELINE_DELAY = 2   # arrival -> earliest arbitration
+ROUTER_TO_ROUTER_DELAY = 2    # ST cycle -> processed at neighbour
+LOOKAHEAD_DELAY = 1           # emission -> processed at neighbour
+EJECT_DELAY = 1               # ST cycle -> packet visible at the NIC
+
+
+@dataclass
+class Lookahead:
+    """Control info sent one cycle ahead of a flit (free wiring: it reuses
+    the conventional header fields — Sec. 3.2)."""
+
+    packet: Packet
+    inport: int          # input port the packet will arrive on
+
+
+@dataclass
+class _BypassGrant:
+    arrival_cycle: int
+    outports: FrozenSet[int]
+    granted_vcs: Dict[int, int]
+    inport: int
+
+
+class Router(Clocked):
+    """One mesh router with its five input/output ports."""
+
+    def __init__(self, node: int, config: NocConfig,
+                 stats: Optional[StatsRegistry] = None,
+                 rvc_ok: Optional[Callable[[int, int, int], bool]] = None) -> None:
+        self.node = node
+        self.config = config
+        self.stats = stats or StatsRegistry()
+        # rvc_ok(downstream_node, sid, seq): reserved-VC eligibility,
+        # answered by the downstream node's NIC (deadlock avoidance).
+        self.rvc_ok = rvc_ok or (lambda _node, _sid, _seq: False)
+        w, h = config.width, config.height
+        uoresp_depth = max(config.uoresp_vc_depth, config.data_flits)
+        self._uoresp_depth = uoresp_depth
+
+        self.inports: Dict[int, InputPort] = {}
+        for port in (*DIRECTIONS, LOCAL):
+            self.inports[port] = InputPort(
+                config.goreq_vcs, config.goreq_vc_depth,
+                config.uoresp_vcs, uoresp_depth, config.reserved_vc)
+
+        # Downstream objects: port -> (endpoint, endpoint node id).  The
+        # endpoint must offer deliver_packet / deliver_lookahead /
+        # queue_credit_release; LOCAL's endpoint is the NIC.
+        self.downstream: Dict[int, Tuple[object, int]] = {}
+        self.out_credits: Dict[int, CreditTracker] = {}
+        self.sid_trackers: Dict[int, SidTracker] = {}
+        self.port_free_at: Dict[int, int] = {}
+
+        self._sa_i = {port: RotatingPriorityArbiter(
+            self._vc_slots()) for port in (*DIRECTIONS, LOCAL)}
+        self._sa_o: Dict[int, RotatingPriorityArbiter] = {}
+        self._la_arb: Dict[int, RotatingPriorityArbiter] = {}
+
+        self._arrivals: List[Tuple[int, Packet, int, VNet, int]] = []
+        self._lookaheads: List[Tuple[int, Lookahead]] = []
+        self._credit_returns: List[Tuple[int, int, VNet, int, int]] = []
+        self._bypass_grants: Dict[int, _BypassGrant] = {}
+        self._n_buffered = 0
+        self._port_buffered: Dict[int, int] = {
+            port: 0 for port in (*DIRECTIONS, LOCAL)}
+        # Optional INCF broadcast filter (repro.noc.filtering); installed
+        # by Mesh.set_broadcast_filter on unordered-broadcast systems.
+        self.broadcast_filter = None
+
+    # ------------------------------------------------------------------
+    # Topology wiring
+    # ------------------------------------------------------------------
+
+    def _vc_slots(self) -> int:
+        return (self.config.vc_count(VNet.GO_REQ)
+                + self.config.vc_count(VNet.UO_RESP))
+
+    def connect(self, port: int, endpoint: object, endpoint_node: int) -> None:
+        """Attach *endpoint* (router or NIC) downstream of *port*."""
+        self.downstream[port] = (endpoint, endpoint_node)
+        self.out_credits[port] = CreditTracker(
+            self.config.goreq_vcs, self.config.goreq_vc_depth,
+            self.config.uoresp_vcs, self._uoresp_depth,
+            self.config.reserved_vc)
+        self.sid_trackers[port] = SidTracker()
+        self.port_free_at[port] = 0
+        self._sa_o[port] = RotatingPriorityArbiter(5)
+        self._la_arb[port] = RotatingPriorityArbiter(5)
+
+    # ------------------------------------------------------------------
+    # Interface used by upstream routers / the local NIC
+    # ------------------------------------------------------------------
+
+    def deliver_packet(self, packet: Packet, inport: int, vnet: VNet,
+                       vc_index: int, arrive_cycle: int) -> None:
+        self._arrivals.append((arrive_cycle, packet, inport, vnet, vc_index))
+
+    def deliver_lookahead(self, la: Lookahead, process_cycle: int) -> None:
+        self._lookaheads.append((process_cycle, la))
+
+    def queue_credit_release(self, outport: int, vnet: VNet, vc: int,
+                             flits: int, cycle: int) -> None:
+        self._credit_returns.append((cycle, outport, vnet, vc, flits))
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        if not (self._arrivals or self._lookaheads or self._credit_returns
+                or self._n_buffered):
+            return   # router is completely idle this cycle
+        self._apply_credit_returns(cycle)
+        self._process_arrivals(cycle)
+        if self._n_buffered:
+            self._arbitrate_reserved(cycle)
+        self._process_lookaheads(cycle)
+        if self._n_buffered:
+            self._arbitrate_buffered(cycle)
+
+    def commit(self, cycle: int) -> None:  # state advances in-place
+        pass
+
+    # -- credits --------------------------------------------------------
+
+    def _apply_credit_returns(self, cycle: int) -> None:
+        if not self._credit_returns:
+            return
+        due = [entry for entry in self._credit_returns if entry[0] <= cycle]
+        if not due:
+            return
+        self._credit_returns = [e for e in self._credit_returns if e[0] > cycle]
+        for _cycle, outport, vnet, vc, flits in due:
+            self.out_credits[outport].release(vnet, vc, flits)
+            if vnet == VNet.GO_REQ and self.out_credits[outport].vc_free(vnet, vc):
+                self.sid_trackers[outport].clear_vc(vc)
+
+    # -- arrivals -------------------------------------------------------
+
+    def _process_arrivals(self, cycle: int) -> None:
+        if not self._arrivals:
+            return
+        due = [a for a in self._arrivals if a[0] <= cycle]
+        if not due:
+            return
+        self._arrivals = [a for a in self._arrivals if a[0] > cycle]
+        for _cycle, packet, inport, vnet, vc_index in due:
+            grant = self._bypass_grants.pop(packet.pid, None)
+            if (grant is not None and grant.arrival_cycle == cycle
+                    and grant.inport == inport):
+                self._bypass_transit(cycle, packet, inport, vnet, vc_index, grant)
+            else:
+                if grant is not None:   # stale grant (should not happen)
+                    self._rollback_grant(cycle, vnet, packet, grant)
+                outports = self._route(packet, inport)
+                if not outports:
+                    # INCF filtered every remaining branch (interest
+                    # changed after the upstream decision): the copy dies
+                    # here and its buffer credit returns at once.
+                    self._release_upstream(cycle, packet, inport, vnet,
+                                           vc_index)
+                    self.stats.incr("incf.copies_killed")
+                    continue
+                self.inports[inport].vc(vnet, vc_index).accept(
+                    packet, outports, cycle, BUFFERED_PIPELINE_DELAY)
+                self._n_buffered += 1
+                self._port_buffered[inport] += 1
+                self.stats.incr("noc.router.buffered")
+
+    def _bypass_transit(self, cycle: int, packet: Packet, inport: int,
+                        vnet: VNet, vc_index: int, grant: _BypassGrant) -> None:
+        """The pre-allocated single-cycle path: ST now, skip buffering."""
+        for outport in grant.outports:
+            self._transmit(cycle, packet, outport, vnet,
+                           grant.granted_vcs.get(outport))
+        # The input VC the upstream reserved is never occupied; return its
+        # credits right away.
+        self._release_upstream(cycle, packet, inport, vnet, vc_index)
+        self.stats.incr("noc.router.bypassed")
+
+    def _rollback_grant(self, cycle: int, vnet: VNet, packet: Packet,
+                        grant: _BypassGrant) -> None:
+        for outport, vc in grant.granted_vcs.items():
+            self.out_credits[outport].release(vnet, vc, packet.size_flits)
+            if vnet == VNet.GO_REQ:
+                self.sid_trackers[outport].clear_vc(vc)
+
+    def _release_upstream(self, cycle: int, packet: Packet, inport: int,
+                          vnet: VNet, vc_index: int) -> None:
+        endpoint = self._upstream_endpoint(inport)
+        if endpoint is None:
+            return
+        upstream, upstream_port = endpoint
+        upstream.queue_credit_release(upstream_port, vnet, vc_index,
+                                      packet.size_flits, cycle + 1)
+
+    def _upstream_endpoint(self, inport: int) -> Optional[Tuple[object, int]]:
+        """The (endpoint, its outport) feeding our *inport*."""
+        if inport == LOCAL:
+            entry = self.downstream.get(LOCAL)
+            if entry is None:
+                return None
+            return entry[0], LOCAL
+        entry = self.downstream.get(inport)
+        if entry is None:
+            return None
+        return entry[0], opposite(inport)
+
+    # -- routing --------------------------------------------------------
+
+    def _route(self, packet: Packet, inport: int) -> FrozenSet[int]:
+        if packet.is_broadcast:
+            if not self.config.multicast:
+                # Without hardware multicast the NIC serializes unicasts,
+                # so a "broadcast" packet here is a plain unicast.
+                raise RuntimeError("broadcast packet in a unicast-only mesh")
+            outports = broadcast_outports(self.node, inport,
+                                          self.config.width,
+                                          self.config.height)
+            if self.broadcast_filter is not None:
+                outports = self.broadcast_filter.prune(self.node, outports,
+                                                       packet.payload)
+            return outports
+        return frozenset({xy_route(self.node, packet.dst, self.config.width)})
+
+    # -- reserved-VC packets (highest priority) -------------------------
+
+    def _arbitrate_reserved(self, cycle: int) -> None:
+        if not self.config.reserved_vc:
+            return
+        rvc_index = self.config.reserved_vc_index()
+        for inport in (*DIRECTIONS, LOCAL):
+            vc = self.inports[inport].vc(VNet.GO_REQ, rvc_index)
+            if not vc.occupied or vc.ready_cycle > cycle:
+                continue
+            self._try_forward(cycle, inport, VNet.GO_REQ, vc)
+
+    # -- lookahead processing -------------------------------------------
+
+    def _process_lookaheads(self, cycle: int) -> None:
+        if not self.config.lookahead_bypass:
+            self._lookaheads = []
+            return
+        due = [la for la in self._lookaheads if la[0] <= cycle]
+        if not due:
+            return
+        self._lookaheads = [la for la in self._lookaheads if la[0] > cycle]
+        # Resolve conflicts between lookaheads per output port with
+        # rotating priority over input ports; grants are all-or-nothing
+        # per lookahead (a partially-granted bypass is a failed bypass).
+        requests: Dict[int, List[Tuple[int, Lookahead]]] = {}
+        routed: List[Tuple[Lookahead, FrozenSet[int]]] = []
+        for _c, la in due:
+            outports = self._route(la.packet, la.inport)
+            if not outports:
+                continue   # fully filtered: the arriving flit is dropped
+            routed.append((la, outports))
+            for port in outports:
+                requests.setdefault(port, []).append((la.inport, la))
+        winners_per_port: Dict[int, Lookahead] = {}
+        for port, entries in requests.items():
+            lines = [False] * 5
+            by_inport = {}
+            for inport, la in entries:
+                lines[inport] = True
+                by_inport[inport] = la
+            granted = self._la_arb[port].grant(lines)
+            if granted is not None:
+                winners_per_port[port] = by_inport[granted]
+        for la, outports in routed:
+            if all(winners_per_port.get(p) is la for p in outports):
+                if not self._grant_bypass(cycle, la, outports):
+                    self.stats.incr("noc.la.denied")
+            else:
+                self.stats.incr("noc.la.lost_arbitration")
+
+    def _grant_bypass(self, cycle: int, la: Lookahead,
+                      outports: FrozenSet[int]) -> bool:
+        packet = la.packet
+        vnet = packet.vnet
+        arrival = cycle + 1
+        # All requested ports must be free at the packet's ST cycle.
+        for port in outports:
+            if self.port_free_at.get(port, 0) > arrival:
+                return False
+            if vnet == VNet.GO_REQ and self.sid_trackers[port].blocks(packet.sid):
+                return False
+        granted_vcs: Dict[int, int] = {}
+        for port in outports:
+            vc = self._select_downstream_vc(port, packet)
+            if vc is None:
+                for done_port, done_vc in granted_vcs.items():
+                    self.out_credits[done_port].release(
+                        vnet, done_vc, packet.size_flits)
+                    if vnet == VNet.GO_REQ:
+                        self.sid_trackers[done_port].clear_vc(done_vc)
+                return False
+            granted_vcs[port] = vc
+            self.out_credits[port].consume(vnet, vc, packet.size_flits)
+            if vnet == VNet.GO_REQ:
+                self.sid_trackers[port].record(vc, packet.sid)
+        for port in outports:
+            self.port_free_at[port] = arrival + packet.size_flits
+        self._bypass_grants[packet.pid] = _BypassGrant(
+            arrival_cycle=arrival, outports=outports,
+            granted_vcs=granted_vcs, inport=la.inport)
+        # Chain the lookahead one hop further for every mesh-bound copy.
+        for port in outports:
+            if port == LOCAL:
+                continue
+            endpoint, _node = self.downstream[port]
+            endpoint.deliver_lookahead(
+                Lookahead(packet=packet, inport=opposite(port)),
+                process_cycle=cycle + 2)
+        self.stats.incr("noc.la.granted")
+        return True
+
+    # -- buffered arbitration (normal VCs) -------------------------------
+
+    def _arbitrate_buffered(self, cycle: int) -> None:
+        # SA-I: one candidate VC per input port.
+        candidates: Dict[int, object] = {}
+        for inport in (*DIRECTIONS, LOCAL):
+            if not self._port_buffered[inport]:
+                continue
+            port_vcs = [vc for vc in self.inports[inport].all_buffers()
+                        if not vc.reserved]
+            lines = [False] * self._sa_i[inport].n
+            eligible = {}
+            for slot, vc in enumerate(port_vcs):
+                if not vc.occupied or vc.ready_cycle > cycle:
+                    continue
+                if self._requestable_outports(cycle, vc):
+                    lines[slot] = True
+                    eligible[slot] = vc
+            if len(lines) != self._sa_i[inport].n:
+                lines += [False] * (self._sa_i[inport].n - len(lines))
+            winner = self._sa_i[inport].grant(lines)
+            if winner is not None:
+                candidates[inport] = eligible[winner]
+
+        if not candidates:
+            return
+
+        # SA-O: per output port, rotating priority over input ports.
+        port_requests: Dict[int, List[int]] = {}
+        for inport, vc in candidates.items():
+            for port in self._requestable_outports(cycle, vc):
+                port_requests.setdefault(port, []).append(inport)
+        for port, inports in sorted(port_requests.items()):
+            lines = [False] * 5
+            for inport in inports:
+                lines[inport] = True
+            winner = self._sa_o[port].grant(lines)
+            if winner is None:
+                continue
+            vc = candidates[winner]
+            if vc.packet is None:
+                continue  # already fully forwarded through other ports
+            self._forward_through(cycle, winner, vc, port)
+
+    def _requestable_outports(self, cycle: int, vc) -> List[int]:
+        """Pending outports this packet may legally request right now."""
+        packet = vc.packet
+        out = []
+        for port in vc.pending_outports:
+            if self.port_free_at.get(port, 0) > cycle:
+                continue
+            if packet.vnet == VNet.GO_REQ and \
+                    self.sid_trackers[port].blocks(packet.sid):
+                continue
+            if self._select_downstream_vc(port, packet) is None:
+                continue
+            out.append(port)
+        return out
+
+    def _try_forward(self, cycle: int, inport: int, vnet: VNet, vc) -> None:
+        """Reserved-VC fast path: forward through any available ports."""
+        for port in list(self._requestable_outports(cycle, vc)):
+            if vc.packet is None:
+                break
+            self._forward_through(cycle, inport, vc, port)
+
+    def _forward_through(self, cycle: int, inport: int, vc, port: int) -> None:
+        packet = vc.packet
+        vnet = packet.vnet
+        downstream_vc = self._select_downstream_vc(port, packet)
+        if downstream_vc is None:
+            return
+        self.out_credits[port].consume(vnet, downstream_vc, packet.size_flits)
+        if vnet == VNet.GO_REQ:
+            self.sid_trackers[port].record(downstream_vc, packet.sid)
+        self.port_free_at[port] = cycle + packet.size_flits
+        self._transmit(cycle, packet, port, vnet, downstream_vc)
+        fully_left = vc.complete_outport(port)
+        if fully_left:
+            self._n_buffered -= 1
+            self._port_buffered[inport] -= 1
+            self._release_upstream(cycle, packet, inport, vnet, vc.index)
+
+    def _select_downstream_vc(self, port: int,
+                              packet: Packet) -> Optional[int]:
+        """VC selection (VS): a free normal VC, else the rVC if eligible.
+
+        The rVC admits only requests at or above the priority of the
+        downstream NIC's expected request (deadlock avoidance; the
+        eligibility question is answered by that NIC).
+        """
+        vnet = packet.vnet
+        credits = self.out_credits[port]
+        free = credits.free_normal_vcs(vnet)
+        if free:
+            return free[0]
+        if vnet == VNet.GO_REQ and self.config.reserved_vc:
+            _endpoint, node = self.downstream[port]
+            if credits.reserved_vc_free() \
+                    and self.rvc_ok(node, packet.sid, packet.seq):
+                return credits.reserved_index
+        return None
+
+    def _transmit(self, cycle: int, packet: Packet, port: int, vnet: VNet,
+                  downstream_vc: int) -> None:
+        """ST: hand the packet to the link (and emit a lookahead)."""
+        endpoint, _node = self.downstream[port]
+        if port == LOCAL:
+            # Cut-through: the serialization penalty of a multi-flit
+            # packet is paid once, when the tail drains at the ejection
+            # port (per-hop bandwidth is charged via port-busy time).
+            endpoint.deliver_packet(packet, LOCAL, vnet, downstream_vc,
+                                    cycle + EJECT_DELAY
+                                    + packet.size_flits - 1)
+        else:
+            endpoint.deliver_packet(packet, opposite(port), vnet,
+                                    downstream_vc,
+                                    cycle + ROUTER_TO_ROUTER_DELAY)
+            if self.config.lookahead_bypass:
+                endpoint.deliver_lookahead(
+                    Lookahead(packet=packet, inport=opposite(port)),
+                    process_cycle=cycle + LOOKAHEAD_DELAY)
+        self.stats.incr("noc.flits.transmitted", packet.size_flits)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / invariant checks)
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Total packets currently buffered at this router."""
+        return sum(self.inports[p].occupied_buffers()
+                   for p in (*DIRECTIONS, LOCAL))
+
+    def sid_invariant_holds(self) -> bool:
+        """No two buffered GO-REQ packets at one input port share a SID."""
+        for port in (*DIRECTIONS, LOCAL):
+            sids = [vc.packet.sid
+                    for vc in self.inports[port].vcs(VNet.GO_REQ)
+                    if vc.occupied]
+            if len(sids) != len(set(sids)):
+                return False
+        return True

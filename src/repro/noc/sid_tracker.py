@@ -1,0 +1,56 @@
+"""SID tracker tables for point-to-point ordering of GO-REQ packets.
+
+Requests from the same source must not overtake each other in the main
+network, because global ordering identifies requests by source ID alone
+(Sec. 3.2, "Point-to-point ordering for GO-REQ").  The invariant enforced
+is: two requests at a particular input port of a router (or the NIC input
+queue) never carry the same SID.
+
+Each output port keeps a table mapping the downstream VC that a GO-REQ
+packet occupies to that packet's SID.  While any entry with SID ``s`` is
+live, further packets with SID ``s`` may not even place a switch
+allocation request for this output port.  The entry clears when the credit
+for that VC returns (the packet left the downstream input port).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class SidTracker:
+    """Per-output-port table: downstream VC index -> in-flight SID."""
+
+    def __init__(self) -> None:
+        self._by_vc: Dict[int, int] = {}
+        self._sid_count: Dict[int, int] = {}
+
+    def blocks(self, sid: int) -> bool:
+        """True if a request with *sid* must not request this port."""
+        return self._sid_count.get(sid, 0) > 0
+
+    def record(self, vc: int, sid: int) -> None:
+        """A packet with *sid* was granted downstream *vc*."""
+        if vc in self._by_vc:
+            raise RuntimeError(
+                f"VC {vc} already tracked (sid {self._by_vc[vc]})")
+        self._by_vc[vc] = sid
+        self._sid_count[sid] = self._sid_count.get(sid, 0) + 1
+
+    def clear_vc(self, vc: int) -> Optional[int]:
+        """Credit for *vc* returned; clear its entry and return the SID."""
+        sid = self._by_vc.pop(vc, None)
+        if sid is not None:
+            remaining = self._sid_count[sid] - 1
+            if remaining:
+                self._sid_count[sid] = remaining
+            else:
+                del self._sid_count[sid]
+        return sid
+
+    def live_entries(self) -> Dict[int, int]:
+        """Copy of the table (for assertions and tests)."""
+        return dict(self._by_vc)
+
+    def __len__(self) -> int:
+        return len(self._by_vc)

@@ -1,0 +1,160 @@
+"""Virtual-channel buffers and credit tracking.
+
+The simulator moves whole packets between routers but accounts buffers and
+credits in flits, so a 3-flit UO-RESP data packet really occupies three
+buffer slots and three cycles of link bandwidth.
+
+Each input port of a router (and the packet-facing side of a NIC) owns a
+set of :class:`VCBuffer` per virtual network.  The upstream router assigns
+the downstream VC during its VC-selection stage, so a buffer never holds
+more than one packet at a time (VC depth equals the largest packet size of
+its virtual network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.noc.packet import Packet, VNet
+
+
+@dataclass
+class VCBuffer:
+    """One virtual channel at one input port."""
+
+    vnet: VNet
+    index: int
+    depth: int
+    reserved: bool = False          # True for the rVC (deadlock avoidance)
+    packet: Optional[Packet] = None
+    pending_outports: Set[int] = field(default_factory=set)
+    ready_cycle: int = -1           # earliest cycle the head may arbitrate
+    # Downstream VC index granted per outport (filled as ports are won).
+    granted_vcs: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def occupied(self) -> bool:
+        return self.packet is not None
+
+    @property
+    def free(self) -> bool:
+        return self.packet is None
+
+    def accept(self, packet: Packet, outports: FrozenSet[int], cycle: int,
+               pipeline_delay: int) -> None:
+        """Buffer *packet* (BW stage); it may arbitrate after the pipeline
+        delay (BW/SA-I then SA-O/VS for a 3-stage router)."""
+        if self.packet is not None:
+            raise RuntimeError(
+                f"VC {self.vnet.name}/{self.index} overrun by packet "
+                f"{packet.pid} (holds {self.packet.pid})")
+        if packet.size_flits > self.depth:
+            raise RuntimeError(
+                f"packet of {packet.size_flits} flits cannot fit VC depth "
+                f"{self.depth}")
+        self.packet = packet
+        self.pending_outports = set(outports)
+        self.ready_cycle = cycle + pipeline_delay
+        self.granted_vcs = {}
+
+    def complete_outport(self, outport: int) -> bool:
+        """Mark *outport* served; returns True when the packet has fully
+        left the VC (all fork branches serviced)."""
+        self.pending_outports.discard(outport)
+        if not self.pending_outports:
+            self.packet = None
+            self.granted_vcs = {}
+            return True
+        return False
+
+
+class InputPort:
+    """All VC buffers of one vnet-set at one router input port."""
+
+    def __init__(self, goreq_vcs: int, goreq_depth: int, uoresp_vcs: int,
+                 uoresp_depth: int, reserved_vc: bool) -> None:
+        goreq: List[VCBuffer] = [
+            VCBuffer(VNet.GO_REQ, i, goreq_depth) for i in range(goreq_vcs)]
+        if reserved_vc:
+            goreq.append(VCBuffer(VNet.GO_REQ, goreq_vcs, goreq_depth,
+                                  reserved=True))
+        uoresp = [VCBuffer(VNet.UO_RESP, i, uoresp_depth)
+                  for i in range(uoresp_vcs)]
+        self._vcs: Dict[VNet, List[VCBuffer]] = {
+            VNet.GO_REQ: goreq, VNet.UO_RESP: uoresp}
+
+    def vcs(self, vnet: VNet) -> List[VCBuffer]:
+        return self._vcs[vnet]
+
+    def vc(self, vnet: VNet, index: int) -> VCBuffer:
+        return self._vcs[vnet][index]
+
+    def occupied_buffers(self) -> int:
+        return sum(1 for vcs in self._vcs.values() for vc in vcs if vc.occupied)
+
+    def all_buffers(self):
+        for vcs in self._vcs.values():
+            yield from vcs
+
+
+class CreditTracker:
+    """Free-slot accounting for the VCs of one downstream input port.
+
+    Held at each router output port; mirrors the downstream
+    :class:`InputPort`.  ``free_vc`` answers the VC-selection (VS) stage's
+    question: which downstream VC, if any, can accept this packet?
+    """
+
+    def __init__(self, goreq_vcs: int, goreq_depth: int, uoresp_vcs: int,
+                 uoresp_depth: int, reserved_vc: bool) -> None:
+        self._depth: Dict[VNet, int] = {
+            VNet.GO_REQ: goreq_depth, VNet.UO_RESP: uoresp_depth}
+        n_goreq = goreq_vcs + (1 if reserved_vc else 0)
+        self._credits: Dict[VNet, List[int]] = {
+            VNet.GO_REQ: [goreq_depth] * n_goreq,
+            VNet.UO_RESP: [uoresp_depth] * uoresp_vcs,
+        }
+        self._reserved_index = goreq_vcs if reserved_vc else None
+
+    def is_reserved(self, vnet: VNet, vc: int) -> bool:
+        return vnet == VNet.GO_REQ and vc == self._reserved_index
+
+    @property
+    def reserved_index(self) -> Optional[int]:
+        return self._reserved_index
+
+    def credits(self, vnet: VNet, vc: int) -> int:
+        return self._credits[vnet][vc]
+
+    def vc_free(self, vnet: VNet, vc: int) -> bool:
+        """A VC is assignable only when entirely empty (one packet/VC)."""
+        return self._credits[vnet][vc] == self._depth[vnet]
+
+    def consume(self, vnet: VNet, vc: int, flits: int) -> None:
+        if self._credits[vnet][vc] < flits:
+            raise RuntimeError(
+                f"credit underflow on {vnet.name} vc {vc}: "
+                f"{self._credits[vnet][vc]} < {flits}")
+        self._credits[vnet][vc] -= flits
+
+    def release(self, vnet: VNet, vc: int, flits: int) -> None:
+        self._credits[vnet][vc] += flits
+        if self._credits[vnet][vc] > self._depth[vnet]:
+            raise RuntimeError(
+                f"credit overflow on {vnet.name} vc {vc}")
+
+    def free_normal_vcs(self, vnet: VNet) -> List[int]:
+        """Indices of free, non-reserved VCs of *vnet*."""
+        out = []
+        for idx in range(len(self._credits[vnet])):
+            if self.is_reserved(vnet, idx):
+                continue
+            if self.vc_free(vnet, idx):
+                out.append(idx)
+        return out
+
+    def reserved_vc_free(self) -> bool:
+        if self._reserved_index is None:
+            return False
+        return self.vc_free(VNet.GO_REQ, self._reserved_index)

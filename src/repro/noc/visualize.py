@@ -1,0 +1,76 @@
+"""ASCII visualization of mesh state: occupancy and traffic heatmaps.
+
+Debugging aid for congestion studies: render a live (or finished) mesh
+as a text grid, one cell per router, so hotspots are visible at a
+glance — e.g. the home-node hotspot in the HT-D 64-core analysis of
+EXPERIMENTS.md was first spotted with exactly this view.
+
+    from repro.noc.visualize import occupancy_map, render_grid
+    print(render_grid(occupancy_map(system.mesh), system.noc_config))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.noc.config import NocConfig
+
+# Shade ramp from idle to saturated.
+SHADES = " .:-=+*#%@"
+
+
+def occupancy_map(mesh) -> Dict[int, float]:
+    """node -> packets currently buffered in that router."""
+    return {router.node: float(router.occupancy())
+            for router in mesh.routers}
+
+
+def traffic_map(testers) -> Dict[int, float]:
+    """node -> packets received (NetworkTester/NodeTester runs)."""
+    return {tester.node: float(tester.received) for tester in testers}
+
+
+def render_grid(values: Dict[int, float], config: NocConfig,
+                cell_width: int = 5,
+                label: Optional[Callable[[float], str]] = None) -> str:
+    """Render per-node *values* as a mesh-shaped text grid.
+
+    Rows print north (high y) first so the picture matches the paper's
+    floorplan orientation.  ``label`` overrides the default numeric
+    formatting per cell.
+    """
+    if cell_width < 3:
+        raise ValueError("cells need at least 3 characters")
+    fmt = label or (lambda v: f"{v:g}"[:cell_width - 1])
+    lines: List[str] = []
+    for y in range(config.height - 1, -1, -1):
+        cells = []
+        for x in range(config.width):
+            value = values.get(y * config.width + x, 0.0)
+            cells.append(fmt(value).rjust(cell_width - 1))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_heatmap(values: Dict[int, float], config: NocConfig) -> str:
+    """Shaded single-character heatmap (relative to the max value)."""
+    peak = max(values.values(), default=0.0)
+    if peak <= 0:
+        return render_grid({node: 0.0 for node in values}, config,
+                           cell_width=3, label=lambda _v: SHADES[0])
+
+    def shade(value: float) -> str:
+        index = int(round(value / peak * (len(SHADES) - 1)))
+        return SHADES[index]
+
+    return render_grid(values, config, cell_width=3, label=shade)
+
+
+def hotspot_nodes(values: Dict[int, float],
+                  threshold: float = 0.5) -> List[int]:
+    """Nodes whose value exceeds *threshold* x the maximum."""
+    peak = max(values.values(), default=0.0)
+    if peak <= 0:
+        return []
+    return sorted(node for node, value in values.items()
+                  if value >= threshold * peak)

@@ -1,0 +1,8 @@
+"""Notification network: bufferless OR-mesh providing the fixed-latency
+ordering substrate of SCORPIO."""
+
+from repro.notification.network import NotificationNetwork
+from repro.notification.router import NotificationRouter
+from repro.notification.tracker import NotificationTracker
+
+__all__ = ["NotificationNetwork", "NotificationRouter", "NotificationTracker"]

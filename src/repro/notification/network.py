@@ -1,0 +1,126 @@
+"""The notification network: a bufferless OR-mesh with time windows.
+
+Operation (Sec. 3.3):
+
+* Time is divided into synchronized windows of ``window`` cycles — strictly
+  greater than the network's worst-case propagation (one cycle per hop of
+  Manhattan distance, plus the injection cycle).
+* At the *start* of a window, every NIC that wants to order requests
+  injects an N*m-bit vector with its own field set (m = bits per core,
+  encoding the request count in binary, plus one shared "stop" bit).
+* Every cycle each router ORs its neighbours' latched vectors into its
+  own — merging is contention-free, so no buffering is ever needed.
+* By the *end* of the window every node holds the same merged vector,
+  which is handed to its NIC's notification tracker, and the latches
+  clear for the next window.
+
+The network is the single clocked component; it drives its OR-routers
+directly so injection and delivery land on exact window boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.noc.config import NotificationConfig
+from repro.notification.router import NotificationRouter
+from repro.sim.engine import Clocked, Engine
+from repro.sim.stats import StatsRegistry
+
+
+class NotificationNetwork(Clocked):
+    """Mesh of OR-routers plus window sequencing."""
+
+    def __init__(self, width: int, height: int, config: NotificationConfig,
+                 engine: Engine, stats: Optional[StatsRegistry] = None) -> None:
+        if config.window < NotificationConfig.minimum_window(width, height):
+            raise ValueError(
+                f"window {config.window} below the latency bound "
+                f"{NotificationConfig.minimum_window(width, height)} for a "
+                f"{width}x{height} mesh")
+        self.width = width
+        self.height = height
+        self.config = config
+        self.stats = stats or StatsRegistry()
+        self.n_nodes = width * height
+        self.routers = [NotificationRouter(i) for i in range(self.n_nodes)]
+        for node in range(self.n_nodes):
+            x, y = node % width, node // width
+            if x + 1 < width:
+                self._link(node, node + 1)
+            if y + 1 < height:
+                self._link(node, node + width)
+        # Per-node callbacks installed by NICs.
+        self.sources: List[Optional[Callable[[], int]]] = [None] * self.n_nodes
+        self.sinks: List[Optional[Callable[[int], None]]] = [None] * self.n_nodes
+        engine.register(self)
+
+    def _link(self, a: int, b: int) -> None:
+        self.routers[a].connect(self.routers[b])
+        self.routers[b].connect(self.routers[a])
+
+    def attach(self, node: int, source: Callable[[], int],
+               sink: Callable[[int], None]) -> None:
+        """Install *source* (pulled at window starts, returns the vector to
+        inject) and *sink* (called with the merged vector at window ends)
+        for *node*."""
+        self.sources[node] = source
+        self.sinks[node] = sink
+
+    # -- stop bit -------------------------------------------------------
+
+    @property
+    def stop_bit(self) -> int:
+        """Bit position of the shared 'stop' flag (above all core fields)."""
+        return self.n_nodes * self.config.bits_per_core
+
+    def stop_asserted(self, vector: int) -> bool:
+        return bool(vector >> self.stop_bit & 1)
+
+    def core_count(self, vector: int, core: int) -> int:
+        """Decode *core*'s announced request count from *vector*."""
+        bits = self.config.bits_per_core
+        return (vector >> (core * bits)) & ((1 << bits) - 1)
+
+    def encode(self, core: int, count: int, stop: bool = False) -> int:
+        bits = self.config.bits_per_core
+        if count > self.config.max_requests_per_window:
+            raise ValueError(
+                f"cannot announce {count} requests with {bits} bit(s)")
+        vector = count << (core * bits)
+        if stop:
+            vector |= 1 << self.stop_bit
+        return vector
+
+    # -- clocking -------------------------------------------------------
+
+    def window_phase(self, cycle: int) -> int:
+        return cycle % self.config.window
+
+    def step(self, cycle: int) -> None:
+        if self.window_phase(cycle) == 0:
+            for node, source in enumerate(self.sources):
+                if source is not None:
+                    vector = source()
+                    if vector:
+                        self.routers[node].accum |= vector
+                        self.stats.incr("notification.injected")
+        for router in self.routers:
+            router.step(cycle)
+
+    def commit(self, cycle: int) -> None:
+        for router in self.routers:
+            router.commit(cycle)
+        if self.window_phase(cycle) == self.config.window - 1:
+            merged = [router.accum for router in self.routers]
+            # Invariant: all nodes hold the identical merged vector.
+            if any(v != merged[0] for v in merged):  # pragma: no cover
+                raise AssertionError("notification window too short: nodes "
+                                     "disagree on the merged vector")
+            for node, sink in enumerate(self.sinks):
+                if sink is not None:
+                    sink(merged[node])
+            for router in self.routers:
+                router.clear()
+            if merged[0]:
+                self.stats.incr("notification.windows_nonempty")

@@ -1,0 +1,250 @@
+"""Full systems for the ordered-network baselines of Figure 7.
+
+Both reuse the snoopy MOSI stack end to end and change only how the
+interconnect orders requests — the paper's "all conditions equal besides
+the ordered network" methodology:
+
+* :class:`TokenBSystem` — requests broadcast with no ordering wait at
+  all; every NIC delivers them in local arrival order.  Races that a real
+  TokenB would resolve with retries are resolved with retries here too,
+  but (like the paper) no persistent requests are modelled, so TokenB
+  performs close to SCORPIO.
+* :class:`InsoSystem` — requests carry pre-assigned snoop-order slots and
+  idle slots must be expired, parameterized by the expiration window
+  (20/40/80 in Figure 7).
+* :class:`TimestampSystem` — Timestamp Snooping (Sec. 2): requests carry
+  ordering times and destinations reorder; performance tracks SCORPIO but
+  the destination reorder buffers grow with cores x outstanding requests,
+  the overhead the paper's Sec. 2 critique quantifies (72 buffers/node at
+  36 cores).
+* :class:`UncorqSystem` — Uncorq (Sec. 2): requests deliver unordered and
+  a response message circles a logical ring embedded in the mesh; writes
+  wait for the full ring traversal, so write latency scales linearly with
+  core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.coherence.l2_controller import CacheConfig, L2Controller
+from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace
+from repro.memory.controller import MemoryConfig, MemoryController
+from repro.nic.controller import NetworkInterface
+from repro.noc.config import NocConfig, NotificationConfig
+from repro.ordering_baselines.inso import InsoNetworkInterface
+from repro.ordering_baselines.timestamp import TimestampNetworkInterface
+from repro.ordering_baselines.uncorq import (LogicalRing,
+                                             UncorqNetworkInterface)
+from repro.systems.base import BaseSystem
+
+
+class _SnoopyBaselineSystem(BaseSystem):
+    """Shared assembly: snoopy L2s + snooping MCs over a custom NIC."""
+
+    def __init__(self, traces: Optional[Sequence[Trace]],
+                 noc: Optional[NocConfig],
+                 cache: Optional[CacheConfig],
+                 memory: Optional[MemoryConfig],
+                 core: Optional[CoreConfig],
+                 mc_nodes: Optional[Sequence[int]],
+                 seed: int, nic_factory) -> None:
+        super().__init__(noc=noc, cache=cache, memory=memory, core=core,
+                         mc_nodes=mc_nodes, ordered=False, seed=seed,
+                         nic_factory=nic_factory)
+        self.l2s: List[L2Controller] = []
+        for node in range(self.n_nodes):
+            l2 = L2Controller(node, self.nics[node], self.memory_map,
+                              self.cache_config, self.stats)
+            self.engine.register(l2)
+            self.l2s.append(l2)
+        self.memory_controllers: List[MemoryController] = []
+        for mc_node in self.mc_nodes:
+            mc = MemoryController(
+                mc_node, self.nics[mc_node],
+                owns_addr=(lambda node: lambda addr:
+                           self.memory_map(addr) == node)(mc_node),
+                config=self.memory_config, stats=self.stats, snoopy=True)
+            self.engine.register(mc)
+            self.memory_controllers.append(mc)
+        if traces is not None:
+            if len(traces) != self.n_nodes:
+                raise ValueError(f"need {self.n_nodes} traces, "
+                                 f"got {len(traces)}")
+            self.attach_cores(traces, lambda node: self.l2s[node])
+
+
+class TokenBSystem(_SnoopyBaselineSystem):
+    """TokenB-like broadcast coherence (no ordering wait, retry on race)."""
+
+    def __init__(self, traces: Optional[Sequence[Trace]] = None,
+                 noc: Optional[NocConfig] = None,
+                 cache: Optional[CacheConfig] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 core: Optional[CoreConfig] = None,
+                 mc_nodes: Optional[Sequence[int]] = None,
+                 retry_timeout: int = 400,
+                 incf: bool = False,
+                 seed: int = 0) -> None:
+        noc = noc or NocConfig()
+        cache = cache or CacheConfig(line_size=noc.line_size_bytes)
+        cache = replace(cache, retry_timeout=retry_timeout)
+        stats_holder = {}
+
+        def factory(node: int) -> NetworkInterface:
+            return NetworkInterface(node, noc, NotificationConfig(
+                window=max(13, NotificationConfig.minimum_window(
+                    noc.width, noc.height))),
+                stats_holder["stats"], ordering_enabled=False)
+
+        # BaseSystem builds stats before NICs; thread it via the holder.
+        self._factory_holder = stats_holder
+
+        def wrapped_factory(node: int) -> NetworkInterface:
+            stats_holder.setdefault("stats", self.stats)
+            return factory(node)
+
+        super().__init__(traces, noc, cache, memory, core, mc_nodes, seed,
+                         wrapped_factory)
+        # INCF: snoopy-mode memory controllers keep the owner bits, so
+        # they must observe every snoop — they are always interested.
+        self.broadcast_filter = None
+        if incf:
+            from repro.noc.filtering import (BroadcastFilter,
+                                             l2_interest_oracle)
+            self.broadcast_filter = BroadcastFilter(
+                noc.width, noc.height, l2_interest_oracle(self.l2s),
+                always_interested=self.mc_nodes, stats=self.stats)
+            self.mesh.set_broadcast_filter(self.broadcast_filter)
+
+
+class InsoSystem(_SnoopyBaselineSystem):
+    """INSO snoopy coherence with a configurable expiration window."""
+
+    def __init__(self, traces: Optional[Sequence[Trace]] = None,
+                 expiration_window: int = 20,
+                 noc: Optional[NocConfig] = None,
+                 cache: Optional[CacheConfig] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 core: Optional[CoreConfig] = None,
+                 mc_nodes: Optional[Sequence[int]] = None,
+                 seed: int = 0) -> None:
+        noc = noc or NocConfig()
+        self.expiration_window = expiration_window
+        stats_holder = {}
+
+        def factory(node: int) -> NetworkInterface:
+            stats_holder.setdefault("stats", self.stats)
+            return InsoNetworkInterface(
+                node, noc,
+                NotificationConfig(window=max(
+                    13, NotificationConfig.minimum_window(noc.width,
+                                                          noc.height))),
+                stats_holder["stats"], expiration_window=expiration_window)
+
+        super().__init__(traces, noc, cache, memory, core, mc_nodes, seed,
+                         factory)
+        # In-network expiry: every NIC sees every frontier update after a
+        # diameter-bounded latency.
+        for nic in self.nics:
+            nic.peers = list(self.nics)
+
+    def expiry_overhead(self) -> float:
+        """Ratio of expiry messages to real coherence requests."""
+        sent = self.stats.counter("nic.requests_sent")
+        expiries = self.stats.counter("inso.expiry_messages")
+        return expiries / sent if sent else float("inf")
+
+
+class TimestampSystem(_SnoopyBaselineSystem):
+    """Timestamp Snooping with destination reorder buffers.
+
+    ``slack`` is the OT headroom; the default covers the mesh diameter
+    plus router pipeline plus a queueing allowance, matching TS's
+    requirement that slack bound the delivery latency.
+    """
+
+    def __init__(self, traces: Optional[Sequence[Trace]] = None,
+                 slack: Optional[int] = None,
+                 noc: Optional[NocConfig] = None,
+                 cache: Optional[CacheConfig] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 core: Optional[CoreConfig] = None,
+                 mc_nodes: Optional[Sequence[int]] = None,
+                 seed: int = 0) -> None:
+        noc = noc or NocConfig()
+        if slack is None:
+            # Diameter x (router + link) + injection + a queueing margin.
+            diameter = (noc.width - 1) + (noc.height - 1)
+            slack = 4 * diameter + 40
+        self.slack = slack
+        stats_holder = {}
+
+        def factory(node: int) -> NetworkInterface:
+            stats_holder.setdefault("stats", self.stats)
+            return TimestampNetworkInterface(
+                node, noc,
+                NotificationConfig(window=max(
+                    13, NotificationConfig.minimum_window(noc.width,
+                                                          noc.height))),
+                stats_holder["stats"], slack=slack)
+
+        super().__init__(traces, noc, cache, memory, core, mc_nodes, seed,
+                         factory)
+
+    def reorder_buffer_peak(self) -> int:
+        """Worst per-node reorder-buffer occupancy (the Sec. 2 metric)."""
+        return max(nic.reorder_peak() for nic in self.nics)
+
+    def late_arrivals(self) -> int:
+        """Requests that arrived after GT passed their OT (slack misses)."""
+        return self.stats.counter("ts.late_arrivals")
+
+
+class UncorqSystem(_SnoopyBaselineSystem):
+    """Uncorq: unordered snoop broadcast + ring-collected responses.
+
+    Writes complete only when their token finishes a full circle of the
+    embedded logical ring, so the write wait grows linearly with core
+    count (``ring.traversal_latency()`` gives the lower bound).
+    """
+
+    def __init__(self, traces: Optional[Sequence[Trace]] = None,
+                 ring_hop_latency: int = 2,
+                 noc: Optional[NocConfig] = None,
+                 cache: Optional[CacheConfig] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 core: Optional[CoreConfig] = None,
+                 mc_nodes: Optional[Sequence[int]] = None,
+                 retry_timeout: int = 400,
+                 seed: int = 0) -> None:
+        noc = noc or NocConfig()
+        # Requests deliver unordered, so (like the TokenB model) races are
+        # resolved by timed retries plus the memory rescue.
+        cache = cache or CacheConfig(line_size=noc.line_size_bytes)
+        cache = replace(cache, retry_timeout=retry_timeout)
+        stats_holder = {}
+        ring_holder = {}
+
+        def factory(node: int) -> NetworkInterface:
+            stats_holder.setdefault("stats", self.stats)
+            ring_holder.setdefault(
+                "ring", LogicalRing(noc, stats_holder["stats"],
+                                    hop_latency=ring_hop_latency))
+            return UncorqNetworkInterface(
+                node, noc,
+                NotificationConfig(window=max(
+                    13, NotificationConfig.minimum_window(noc.width,
+                                                          noc.height))),
+                stats_holder["stats"], ring=ring_holder["ring"])
+
+        super().__init__(traces, noc, cache, memory, core, mc_nodes, seed,
+                         factory)
+        self.ring: LogicalRing = ring_holder["ring"]
+        self.engine.register(self.ring)
+
+    def ring_traversal_latency(self) -> int:
+        """Full-circle ring latency — the write-wait lower bound."""
+        return self.ring.traversal_latency()

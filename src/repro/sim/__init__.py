@@ -1,0 +1,6 @@
+"""Simulation kernel: cycle-driven engine and statistics."""
+
+from repro.sim.engine import Clocked, Engine
+from repro.sim.stats import Histogram, StatsRegistry
+
+__all__ = ["Clocked", "Engine", "Histogram", "StatsRegistry"]

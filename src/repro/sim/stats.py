@@ -1,0 +1,112 @@
+"""Statistics collection for simulations.
+
+A :class:`StatsRegistry` is shared across a simulated system.  Components
+create named counters, scalar gauges and histograms; the benchmark harness
+reads them back to produce the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+
+class Histogram:
+    """A simple sample accumulator with summary statistics."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Return the *p*-th percentile (0..100) of the observed samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class StatsRegistry:
+    """Named counters, gauges and histograms for one simulated system."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms[name].add(value)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        hist = self.histograms.get(name)
+        return hist.mean if hist else 0.0
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Fold *other*'s counters/histograms into this registry."""
+        for name, value in other.counters.items():
+            self.counters[name] += value
+        for name, hist in other.histograms.items():
+            mine = self.histograms[name]
+            for sample in hist._samples:
+                mine.add(sample)
+        self.gauges.update(other.gauges)
+
+    def snapshot(self, prefixes: Optional[Iterable[str]] = None) -> Dict[str, float]:
+        """Flatten counters and histogram means into a plain dict."""
+        out: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            if prefixes is None or any(name.startswith(p) for p in prefixes):
+                out[name] = float(value)
+        for name, hist in self.histograms.items():
+            if prefixes is None or any(name.startswith(p) for p in prefixes):
+                out[name + ".mean"] = hist.mean
+                out[name + ".count"] = float(hist.count)
+        out.update(self.gauges)
+        return out

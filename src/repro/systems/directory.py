@@ -1,0 +1,108 @@
+"""Directory-baseline systems: LPD-D and HT-D on the same mesh.
+
+Per the paper's methodology (Sec. 5), everything except the ordering
+machinery is held equal: same mesh (minus GO-REQ ordering and the
+notification network), same caches, same memory latency.  Directories are
+distributed across all cores ("-D"), with the total directory cache size
+fixed at 256 KB.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.coherence.dir_l2 import DirectoryL2Controller
+from repro.coherence.directory import DirectoryConfig, DirectoryController
+from repro.coherence.l2_controller import CacheConfig
+from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace
+from repro.memory.controller import MemoryConfig, MemoryController
+from repro.noc.config import NocConfig, NotificationConfig
+from repro.systems.base import BaseSystem
+
+
+class DirectorySystem(BaseSystem):
+    """A distributed-directory multicore ("LPD", "FULLBIT" or "HT")."""
+
+    def __init__(self, scheme: str = "LPD",
+                 traces: Optional[Sequence[Trace]] = None,
+                 noc: Optional[NocConfig] = None,
+                 cache: Optional[CacheConfig] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 core: Optional[CoreConfig] = None,
+                 directory: Optional[DirectoryConfig] = None,
+                 mc_nodes: Optional[Sequence[int]] = None,
+                 incf: bool = False,
+                 incf_table_capacity: Optional[int] = None,
+                 seed: int = 0) -> None:
+        if scheme not in ("LPD", "FULLBIT", "HT"):
+            raise ValueError(f"scheme must be 'LPD', 'FULLBIT' or 'HT', "
+                             f"got {scheme!r}")
+        super().__init__(noc=noc, cache=cache, memory=memory, core=core,
+                         mc_nodes=mc_nodes, ordered=False, seed=seed)
+        self.scheme = scheme
+        self.dir_config = directory or DirectoryConfig(
+            scheme=scheme, n_nodes=self.n_nodes,
+            line_size=self.noc_config.line_size_bytes)
+        if self.dir_config.scheme != scheme:
+            raise ValueError("directory config scheme mismatch")
+
+        line = self.noc_config.line_size_bytes
+        n = self.n_nodes
+        self.home_map = lambda addr: (addr // line) % n
+
+        self.l2s: List[DirectoryL2Controller] = []
+        for node in range(self.n_nodes):
+            l2 = DirectoryL2Controller(node, self.nics[node],
+                                       self.memory_map, self.home_map,
+                                       self.cache_config, self.stats,
+                                       requires_marker=(scheme == "HT"))
+            self.engine.register(l2)
+            self.l2s.append(l2)
+
+        self.directories: List[DirectoryController] = []
+        for node in range(self.n_nodes):
+            dir_ctrl = DirectoryController(node, self.nics[node],
+                                           self.dir_config, self.memory_map,
+                                           self.stats)
+            self.engine.register(dir_ctrl)
+            self.directories.append(dir_ctrl)
+
+        self.memory_controllers: List[MemoryController] = []
+        for mc_node in self.mc_nodes:
+            mc = MemoryController(
+                mc_node, self.nics[mc_node],
+                owns_addr=lambda addr: True,  # MemReads are pre-routed
+                config=self.memory_config, stats=self.stats, snoopy=False)
+            self.engine.register(mc)
+            self.memory_controllers.append(mc)
+
+        # INCF (Sec. 5.3 future work): prune HT snoop-broadcast branches
+        # whose subtrees provably hold no interested cache.  Directory-
+        # mode memory controllers never snoop, so no node is
+        # always-interested.
+        self.broadcast_filter = None
+        if incf:
+            from repro.noc.filtering import (BroadcastFilter, FilterTable,
+                                             l2_interest_oracle)
+            interest = l2_interest_oracle(self.l2s)
+            if incf_table_capacity is not None:
+                interest = FilterTable(
+                    interest, capacity=incf_table_capacity,
+                    region_bytes=self.cache_config.region_bytes)
+            self.broadcast_filter = BroadcastFilter(
+                self.noc_config.width, self.noc_config.height,
+                interest, stats=self.stats)
+            self.mesh.set_broadcast_filter(self.broadcast_filter)
+
+        if traces is not None:
+            if len(traces) != self.n_nodes:
+                raise ValueError(f"need {self.n_nodes} traces, "
+                                 f"got {len(traces)}")
+            self.attach_cores(traces, lambda node: self.l2s[node])
+
+    def quiesced(self) -> bool:
+        return (self.mesh.quiescent()
+                and all(nic.idle() for nic in self.nics)
+                and all(d.idle() for d in self.directories)
+                and all(mc.idle() for mc in self.memory_controllers))

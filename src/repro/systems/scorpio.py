@@ -1,0 +1,84 @@
+"""The full SCORPIO system: snoopy MOSI over the ordered mesh.
+
+This is the paper's SCORPIO(-D) configuration — "-D" only matters for the
+baselines (it distributes their directories); SCORPIO itself has no
+directory indirection, just the owner-bit-tracking memory controllers at
+the chip edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.coherence.l2_controller import CacheConfig, L2Controller
+from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace
+from repro.memory.controller import MemoryConfig, MemoryController
+from repro.noc.config import NocConfig, NotificationConfig
+from repro.systems.base import BaseSystem
+
+
+class ScorpioSystem(BaseSystem):
+    """36 (or 64/100) tiles of core + L2 snooping an ordered mesh."""
+
+    def __init__(self, traces: Optional[Sequence[Trace]] = None,
+                 noc: Optional[NocConfig] = None,
+                 notification: Optional[NotificationConfig] = None,
+                 cache: Optional[CacheConfig] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 core: Optional[CoreConfig] = None,
+                 mc_nodes: Optional[Sequence[int]] = None,
+                 seed: int = 0) -> None:
+        super().__init__(noc=noc, notification=notification, cache=cache,
+                         memory=memory, core=core, mc_nodes=mc_nodes,
+                         ordered=True, seed=seed)
+        self.l2s: List[L2Controller] = []
+        for node in range(self.n_nodes):
+            l2 = L2Controller(node, self.nics[node], self.memory_map,
+                              self.cache_config, self.stats)
+            self.engine.register(l2)
+            self.l2s.append(l2)
+        self.memory_controllers: List[MemoryController] = []
+        for mc_node in self.mc_nodes:
+            mc = MemoryController(
+                mc_node, self.nics[mc_node],
+                owns_addr=self._owns_addr_fn(mc_node),
+                config=self.memory_config, stats=self.stats, snoopy=True)
+            self.engine.register(mc)
+            self.memory_controllers.append(mc)
+        if traces is not None:
+            if len(traces) != self.n_nodes:
+                raise ValueError(f"need {self.n_nodes} traces, "
+                                 f"got {len(traces)}")
+            self.attach_cores(traces, lambda node: self.l2s[node])
+
+    def _owns_addr_fn(self, mc_node: int):
+        return lambda addr: self.memory_map(addr) == mc_node
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by tests)
+    # ------------------------------------------------------------------
+
+    def single_owner_invariant(self) -> bool:
+        """At most one L2 owns any line (counting writeback buffers)."""
+        owners = {}
+        for l2 in self.l2s:
+            for set_idx, line in l2.array.lines():
+                if line.state.is_owner:
+                    addr = l2.array.addr_of(set_idx, line)
+                    if addr in owners:
+                        return False
+                    owners[addr] = l2.node
+            for addr, entry in l2.wb_buffer.items():
+                if not entry.lost_ownership:
+                    if addr in owners:
+                        return False
+                    owners[addr] = l2.node
+        return True
+
+    def quiesced(self) -> bool:
+        """Nothing in flight anywhere (end-of-run sanity)."""
+        return (self.mesh.quiescent()
+                and all(nic.idle() for nic in self.nics)
+                and all(l2.idle() for l2 in self.l2s)
+                and all(mc.idle() for mc in self.memory_controllers))

@@ -1,0 +1,251 @@
+"""Memory-consistency litmus tests over the live SCORPIO system.
+
+The chip targets **sequential consistency** (Table 2) and was verified
+with regression suites exercising loads/stores and inter-cache coherency
+(Sec. 4.3).  This module is the simulator's analogue: tiny concurrent
+programs run on real cores/caches/networks, loads observe *versions*
+(store counts per line, standing in for data values), and a checker
+decides whether the observed outcome is admissible under SC.
+
+A :class:`LitmusProgram` is a list of per-core threads; each thread is a
+list of ``("R", var)`` / ``("W", var)`` operations executed in program
+order (one at a time — in-order cores).  Writes to a variable are
+numbered 1..n in the order they *commit globally*, and a read observes
+the number of the last committed write it saw.  The checker enumerates
+interleavings of the threads (litmus tests are tiny) and accepts iff some
+sequentially consistent interleaving explains every observed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import Trace
+from repro.noc.config import NocConfig
+from repro.sim.engine import Clocked
+from repro.systems.scorpio import ScorpioSystem
+
+LINE = 32
+VAR_BASE = 0x5000_0000
+VAR_STRIDE = 1 << 16     # distinct lines (and regions) per variable
+
+
+def var_addr(var: str) -> int:
+    """Stable line-aligned address for a named variable."""
+    index = sum((ord(c) - ord("a") + 1) * 27 ** i
+                for i, c in enumerate(reversed(var)))
+    return VAR_BASE + index * VAR_STRIDE
+
+
+@dataclass
+class Observation:
+    """One executed operation and what it saw."""
+
+    core: int
+    index: int          # program-order position within the thread
+    op: str             # 'R' or 'W'
+    var: str
+    version: int        # store count observed (W: the count it produced)
+
+
+class LitmusCore(Clocked):
+    """In-order core executing one litmus thread, blocking per op."""
+
+    def __init__(self, node: int, l2, thread: Sequence[Tuple[str, str]]):
+        self.node = node
+        self.l2 = l2
+        self.thread = list(thread)
+        self._pc = 0
+        self._waiting = False
+        self.observations: List[Observation] = []
+        l2.set_completion_callback(self._on_complete)
+
+    @property
+    def finished(self) -> bool:
+        return self._pc >= len(self.thread) and not self._waiting
+
+    def step(self, cycle: int) -> None:
+        if self._waiting or self._pc >= len(self.thread):
+            return
+        op, var = self.thread[self._pc]
+        if self.l2.core_request(op, var_addr(var), cycle, token=self._pc):
+            self._waiting = True
+
+    def commit(self, cycle: int) -> None:
+        pass
+
+    def _on_complete(self, token, cycle, version=0) -> None:
+        op, var = self.thread[token]
+        self.observations.append(
+            Observation(self.node, token, op, var, version))
+        self._pc = token + 1
+        self._waiting = False
+
+
+@dataclass
+class LitmusProgram:
+    """A named litmus test: threads plus the SC verdicts to check."""
+
+    name: str
+    threads: List[List[Tuple[str, str]]]
+    description: str = ""
+
+
+def _build_system(protocol: str, width: int, height: int, seed: int):
+    noc = NocConfig(width=width, height=height)
+    traces = [Trace([]) for _ in range(width * height)]
+    if protocol == "scorpio":
+        return ScorpioSystem(traces=traces, noc=noc, seed=seed)
+    if protocol in ("lpd", "ht", "fullbit"):
+        from repro.systems.directory import DirectorySystem
+        return DirectorySystem(scheme=protocol.upper(), traces=traces,
+                               noc=noc, seed=seed)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def run_litmus(program: LitmusProgram, width: int = 3, height: int = 3,
+               max_cycles: int = 100_000,
+               seed: int = 0, protocol: str = "scorpio"
+               ) -> List[Observation]:
+    """Execute *program* on a live system; returns observations."""
+    n_nodes = width * height
+    if len(program.threads) > n_nodes:
+        raise ValueError("more threads than nodes")
+    system = _build_system(protocol, width, height, seed)
+    cores = []
+    for node, thread in enumerate(program.threads):
+        core = LitmusCore(node, system.l2s[node], thread)
+        system.engine.register(core)
+        cores.append(core)
+    system.engine.run(max_cycles,
+                      until=lambda: all(c.finished for c in cores))
+    if not all(c.finished for c in cores):
+        raise RuntimeError(f"litmus {program.name} did not finish")
+    observations: List[Observation] = []
+    for core in cores:
+        observations.extend(core.observations)
+    return observations
+
+
+# ---------------------------------------------------------------------------
+# The SC checker
+# ---------------------------------------------------------------------------
+
+def _interleavings(threads: List[List[int]]):
+    """All interleavings of per-thread op-index sequences (tiny inputs)."""
+    tagged = []
+    for tid, ops in enumerate(threads):
+        tagged.append([(tid, idx) for idx in ops])
+    slots = []
+    for tid, ops in enumerate(tagged):
+        slots.extend([tid] * len(ops))
+    seen = set()
+    for order in set(permutations(slots)):
+        if order in seen:
+            continue
+        seen.add(order)
+        cursors = [0] * len(tagged)
+        out = []
+        for tid in order:
+            out.append(tagged[tid][cursors[tid]])
+            cursors[tid] += 1
+        yield out
+
+
+def is_sequentially_consistent(program: LitmusProgram,
+                               observations: List[Observation]) -> bool:
+    """True iff some total order of all ops, consistent with each
+    thread's program order, reproduces every observed version."""
+    obs = {(o.core, o.index): o for o in observations}
+    threads = [list(range(len(t))) for t in program.threads]
+    for interleaving in _interleavings(threads):
+        counts: Dict[str, int] = {}
+        ok = True
+        for tid, idx in interleaving:
+            op, var = program.threads[tid][idx]
+            if op == "W":
+                counts[var] = counts.get(var, 0) + 1
+                expected = counts[var]
+            else:
+                expected = counts.get(var, 0)
+            if obs[(tid, idx)].version != expected:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Canonical litmus programs
+# ---------------------------------------------------------------------------
+
+MESSAGE_PASSING = LitmusProgram(
+    name="message-passing",
+    threads=[
+        [("W", "x"), ("W", "y")],          # producer: data then flag
+        [("R", "y"), ("R", "x")],          # consumer: flag then data
+    ],
+    description="if the consumer sees the flag, it must see the data",
+)
+
+STORE_BUFFERING = LitmusProgram(
+    name="store-buffering",
+    threads=[
+        [("W", "x"), ("R", "y")],
+        [("W", "y"), ("R", "x")],
+    ],
+    description="SC forbids both reads returning 0",
+)
+
+LOAD_BUFFERING = LitmusProgram(
+    name="load-buffering",
+    threads=[
+        [("R", "x"), ("W", "y")],
+        [("R", "y"), ("W", "x")],
+    ],
+    description="SC forbids both loads seeing the other thread's store",
+)
+
+COHERENCE_ORDER = LitmusProgram(
+    name="coherence-order",
+    threads=[
+        [("W", "x"), ("W", "x")],
+        [("R", "x"), ("R", "x")],
+    ],
+    description="reads of one location never go backwards",
+)
+
+IRIW = LitmusProgram(
+    name="iriw",
+    threads=[
+        [("W", "x")],
+        [("W", "y")],
+        [("R", "x"), ("R", "y")],
+        [("R", "y"), ("R", "x")],
+    ],
+    description="independent readers must agree on the write order",
+)
+
+ALL_LITMUS = [MESSAGE_PASSING, STORE_BUFFERING, LOAD_BUFFERING,
+              COHERENCE_ORDER, IRIW]
+
+
+def run_suite(protocol: str = "scorpio", seeds: Sequence[int] = (0, 1, 2),
+              programs: Optional[Sequence[LitmusProgram]] = None
+              ) -> Dict[str, bool]:
+    """Run every litmus program a few times under *protocol*; a test
+    passes iff every execution's outcome is SC-admissible."""
+    results: Dict[str, bool] = {}
+    for program in programs or ALL_LITMUS:
+        verdict = True
+        for seed in seeds:
+            observations = run_litmus(program, seed=seed,
+                                      protocol=protocol)
+            if not is_sequentially_consistent(program, observations):
+                verdict = False
+                break
+        results[program.name] = verdict
+    return results

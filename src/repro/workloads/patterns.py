@@ -1,0 +1,119 @@
+"""Classic sharing patterns: migratory data and producer-consumer.
+
+The intro's shared-memory motivation comes down to a few recurring
+communication idioms.  Two of them stress exactly the path SCORPIO
+optimizes (cache-to-cache transfer without directory indirection):
+
+* **migratory** — a data block is read-modified-written by one core at a
+  time, in turn: every handoff moves ownership.  (Classic example:
+  particles moving between spatial cells in barnes/water.)
+* **producer-consumer** — one core writes a buffer, a set of consumers
+  read it, repeat.  Each round invalidates the consumers and re-shares.
+
+Both generators produce per-core traces whose *interleaving in time*
+(staggered think times) creates the intended ownership migration without
+needing program-order synchronization, which trace injectors cannot
+express.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.trace import Trace, TraceOp
+
+LINE = 32
+MIGRATORY_BASE = 0x7000_0000
+BUFFER_BASE = 0x7100_0000
+
+
+def migratory_traces(n_cores: int,
+                     rounds: int = 3,
+                     blocks: int = 2,
+                     lines_per_block: int = 2,
+                     hold_think: int = 4,
+                     round_gap: int = 30,
+                     base: int = MIGRATORY_BASE) -> List[Trace]:
+    """Each block visits every core once per round, read-then-write.
+
+    Core ``c`` touches block ``b`` at a time offset proportional to its
+    turn, so ownership migrates c0 -> c1 -> ... -> c0 -> ...; every visit
+    is a GETS followed by an upgrade (or a GETX on the dirty copy) — the
+    migratory-sharing signature.
+    """
+    if n_cores <= 0 or rounds < 1 or blocks < 1 or lines_per_block < 1:
+        raise ValueError("invalid migratory shape")
+    traces: List[Trace] = []
+    turn_gap = hold_think * (2 * lines_per_block + 1)
+    for core in range(n_cores):
+        ops: List[TraceOp] = []
+        previous_end = 0
+        for round_idx in range(rounds):
+            # This core's turn starts after all earlier cores' turns.
+            turn_start = (round_idx * (n_cores * turn_gap + round_gap)
+                          + core * turn_gap)
+            gap = max(1, turn_start - previous_end)
+            for block in range(blocks):
+                addr = base + block * lines_per_block * LINE
+                for line in range(lines_per_block):
+                    ops.append(TraceOp("R", addr + line * LINE,
+                                       gap if line == 0 and block == 0
+                                       else hold_think))
+                for line in range(lines_per_block):
+                    ops.append(TraceOp("W", addr + line * LINE,
+                                       hold_think))
+            previous_end = turn_start + turn_gap
+        traces.append(Trace(ops))
+    return traces
+
+
+def producer_consumer_traces(n_consumers: int,
+                             rounds: int = 3,
+                             buffer_lines: int = 4,
+                             produce_think: int = 3,
+                             consume_think: int = 3,
+                             round_gap: int = 600,
+                             base: int = BUFFER_BASE) -> List[Trace]:
+    """One producer (core 0) fills a buffer; consumers read it back.
+
+    Returns ``n_consumers + 1`` traces: index 0 is the producer.  Each
+    round the producer's writes invalidate every consumer's copy, and
+    the consumers' reads re-share the dirty lines from the producer's
+    cache — the O_D-state path of the adapted MOSI protocol.
+
+    Trace injectors have no synchronization, so the phase interleaving
+    is enforced purely by think-time spacing: ``round_gap`` must
+    comfortably exceed the per-round miss-latency slippage (a few
+    hundred cycles), which the default does.
+    """
+    if n_consumers < 1 or rounds < 1 or buffer_lines < 1:
+        raise ValueError("invalid producer-consumer shape")
+    if round_gap < 1:
+        raise ValueError("round gap must be positive")
+    produce_time = buffer_lines * produce_think
+    consume_time = buffer_lines * consume_think
+    round_span = produce_time + consume_time + round_gap
+    producer_ops: List[TraceOp] = []
+    for round_idx in range(rounds):
+        for line in range(buffer_lines):
+            producer_ops.append(TraceOp(
+                "W", base + line * LINE,
+                (round_gap + consume_time if round_idx else 1)
+                if line == 0 else produce_think))
+    traces = [Trace(producer_ops)]
+    for consumer in range(n_consumers):
+        ops: List[TraceOp] = []
+        for round_idx in range(rounds):
+            # Consumers start reading half a round gap after the
+            # producer's nominal finish, absorbing its miss slippage.
+            start = (round_idx * round_span + produce_time
+                     + round_gap // 2)
+            end_prev = ((round_idx - 1) * round_span + produce_time
+                        + round_gap // 2 + consume_time) if round_idx \
+                else 0
+            gap = max(1, start - end_prev)
+            for line in range(buffer_lines):
+                ops.append(TraceOp("R", base + line * LINE,
+                                   gap if line == 0 else consume_think))
+        traces.append(Trace(ops))
+    return traces

@@ -1,0 +1,115 @@
+"""Synthetic workload generator standing in for SPLASH-2 / PARSEC traces.
+
+The paper drives its RTL simulations with traces captured from Graphite.
+Offline we synthesize traces with the same aggregate knobs that determine
+protocol behaviour: L2 miss pressure (private footprint vs. the 128 KB
+L2), read/write mix, degree and style of sharing, and the think-time gaps
+that set injection rate.  Each benchmark is a parameter profile
+(see :mod:`repro.workloads.suites`); traces are deterministic in the seed.
+
+Address map: every core gets a disjoint private region; all cores share
+one shared region.  Shared accesses follow an 80/20 hot-set skew, which
+produces the owner-migration and producer-consumer patterns that make
+cache-to-cache transfers (the paper's "served by other caches" class)
+dominate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.trace import Trace, TraceOp
+
+LINE = 32
+PRIVATE_STRIDE = 1 << 24      # byte span reserved per core
+SHARED_BASE = 1 << 30         # common shared region
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Aggregate characteristics of one benchmark."""
+
+    name: str
+    read_fraction: float = 0.7         # of all accesses
+    shared_fraction: float = 0.2       # accesses touching the shared region
+    shared_write_fraction: float = 0.3  # writes within shared accesses
+    private_lines: int = 2048          # private footprint (lines/core)
+    shared_lines: int = 1024           # shared footprint (lines total)
+    hot_fraction: float = 0.2          # fraction of shared lines that is hot
+    think_mean: int = 6                # mean cycles between accesses
+
+    def __post_init__(self) -> None:
+        for frac in (self.read_fraction, self.shared_fraction,
+                     self.shared_write_fraction, self.hot_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError(f"fraction out of range in {self.name}")
+        if self.private_lines < 1 or self.shared_lines < 1:
+            raise ValueError("footprints must be at least one line")
+
+
+def scaled(profile: WorkloadProfile, scale: float,
+           think_scale: float = 1.0) -> WorkloadProfile:
+    """Shrink footprints by *scale* (for fast tests/benches) while keeping
+    the miss-pressure ratios roughly intact.  ``think_scale`` stretches
+    the gaps between accesses: full-size benchmarks miss the L2 once per
+    hundreds of cycles, so down-scaled runs must stretch think times to
+    stay in the same injection-rate regime (below the mesh's broadcast
+    saturation point)."""
+    return WorkloadProfile(
+        name=profile.name,
+        read_fraction=profile.read_fraction,
+        shared_fraction=profile.shared_fraction,
+        shared_write_fraction=profile.shared_write_fraction,
+        private_lines=max(8, int(profile.private_lines * scale)),
+        shared_lines=max(8, int(profile.shared_lines * scale)),
+        hot_fraction=profile.hot_fraction,
+        think_mean=max(1, int(profile.think_mean * think_scale)),
+    )
+
+
+def generate_trace(profile: WorkloadProfile, core: int, n_ops: int,
+                   seed: int = 0) -> Trace:
+    """Build one core's trace for *profile*, deterministic in (seed, core)."""
+    rng = random.Random((seed << 20) ^ (core * 2654435761) ^ hash(profile.name))
+    private_base = (core + 1) * PRIVATE_STRIDE
+    hot_lines = max(1, int(profile.shared_lines * profile.hot_fraction))
+    ops: List[TraceOp] = []
+    for _ in range(n_ops):
+        shared = rng.random() < profile.shared_fraction
+        if shared:
+            if rng.random() < 0.8:
+                line = rng.randrange(hot_lines)
+            else:
+                line = rng.randrange(profile.shared_lines)
+            addr = SHARED_BASE + line * LINE
+            write = rng.random() < profile.shared_write_fraction
+        else:
+            line = rng.randrange(profile.private_lines)
+            addr = private_base + line * LINE
+            write = rng.random() > profile.read_fraction
+        think = max(1, int(rng.expovariate(1.0 / max(1, profile.think_mean))))
+        ops.append(TraceOp(op="W" if write else "R", addr=addr, think=think))
+    return Trace(ops)
+
+
+def generate_system_traces(profile: WorkloadProfile, n_cores: int,
+                           n_ops: int, seed: int = 0) -> List[Trace]:
+    """Per-core traces for a whole system run."""
+    return [generate_trace(profile, core, n_ops, seed)
+            for core in range(n_cores)]
+
+
+def uniform_random_trace(core: int, n_ops: int, n_lines: int,
+                         write_fraction: float = 0.3, think: int = 4,
+                         shared: bool = True, seed: int = 0) -> Trace:
+    """A plain uniform-random trace (NoC stress / unit tests)."""
+    rng = random.Random((seed << 16) ^ core)
+    base = SHARED_BASE if shared else (core + 1) * PRIVATE_STRIDE
+    ops = []
+    for _ in range(n_ops):
+        addr = base + rng.randrange(n_lines) * LINE
+        op = "W" if rng.random() < write_fraction else "R"
+        ops.append(TraceOp(op=op, addr=addr, think=think))
+    return Trace(ops)

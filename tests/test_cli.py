@@ -1,0 +1,143 @@
+"""CLI tests (python -m repro ...) driving main() directly."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_bad_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fft", "--protocol", "mesi"])
+
+    def test_rejects_bad_mesh(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fft", "--mesh", "six-by-six"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fft", "--mesh", "1x6"])
+
+    def test_mesh_parsing(self):
+        args = build_parser().parse_args(["run", "fft", "--mesh", "4x4"])
+        assert args.mesh == (4, 4)
+
+
+class TestRunCommand:
+    def test_run_small(self):
+        code, text = run_cli("run", "fft", "--mesh", "3x3", "--ops", "10",
+                             "--scale", "0.02", "--think-scale", "10")
+        assert code == 0
+        assert "protocol  : scorpio" in text
+        assert "progress 100.0%" in text
+
+    def test_run_directory_protocol(self):
+        code, text = run_cli("run", "lu", "--mesh", "3x3", "--ops", "10",
+                             "--scale", "0.02", "--think-scale", "10",
+                             "--protocol", "ht")
+        assert code == 0
+        assert "protocol  : ht" in text
+
+
+class TestCompareCommand:
+    def test_compare_normalizes_to_lpd(self):
+        code, text = run_cli("compare", "fft", "--mesh", "3x3",
+                             "--ops", "10", "--scale", "0.02",
+                             "--think-scale", "10")
+        assert code == 0
+        assert "normalized to LPD" in text
+        assert "scorpio" in text and "ht" in text
+        # The LPD line itself normalizes to 1.000.
+        lpd_line = next(line for line in text.splitlines()
+                        if line.strip().startswith("lpd"))
+        assert "1.000" in lpd_line
+
+
+class TestFigureCommand:
+    def test_list(self):
+        code, text = run_cli("figure", "--list")
+        assert code == 0
+        for fig_id in ("fig6a", "fig7", "fig9", "table1"):
+            assert fig_id in text
+
+    def test_no_id_lists(self):
+        code, text = run_cli("figure")
+        assert code == 0
+        assert "available figures" in text
+
+    def test_unknown_id(self):
+        code, text = run_cli("figure", "fig99")
+        assert code == 2
+        assert "unknown figure" in text
+
+    def test_table1_renders(self):
+        code, text = run_cli("figure", "table1")
+        assert code == 0
+        assert "6x6 mesh" in text
+        assert "MOSI" in text
+
+    def test_table2_renders(self):
+        code, text = run_cli("figure", "table2")
+        assert code == 0
+        assert "SCORPIO" in text and "TILE64" in text
+
+    def test_fig9_renders(self):
+        code, text = run_cli("figure", "fig9")
+        assert code == 0
+        assert "nic_router" in text
+        assert "28.8" in text
+
+
+class TestFeaturesCommand:
+    def test_prints_table1(self):
+        code, text = run_cli("features")
+        assert code == 0
+        assert "IBM 45 nm SOI" in text
+        assert "notification" in text
+
+
+class TestTraceCommand:
+    def test_trace_roundtrip(self, tmp_path):
+        from repro.cpu.tracefile import dump_traces
+        from repro.workloads.suites import profile
+        from repro.workloads.synthetic import generate_system_traces, scaled
+
+        prof = scaled(profile("fft"), 0.02, 10.0)
+        traces = generate_system_traces(prof, 9, 10, seed=1)
+        path = tmp_path / "t.trace"
+        dump_traces(traces, path)
+        code, text = run_cli("trace", str(path), "--mesh", "3x3")
+        assert code == 0
+        assert "progress 100.0%" in text
+
+    def test_trace_bad_file(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        from repro.cpu.tracefile import TraceFormatError
+        with pytest.raises(TraceFormatError):
+            run_cli("trace", str(path), "--mesh", "3x3")
+
+
+class TestReportCommand:
+    def test_report_static_figures(self, tmp_path):
+        code, text = run_cli("report", str(tmp_path / "out"),
+                             "--figures", "table1", "fig9")
+        assert code == 0
+        assert (tmp_path / "out" / "table1.txt").exists()
+        assert (tmp_path / "out" / "index.md").exists()
+        assert "table1" in text
+
+    def test_report_unknown_figure(self, tmp_path):
+        code, text = run_cli("report", str(tmp_path), "--figures", "figX")
+        assert code == 2
+        assert "unknown" in text

@@ -1,0 +1,50 @@
+"""Whole-system determinism: identical seeds must reproduce identical
+runs bit-for-bit (runtime, statistics, final cache states), across every
+protocol — the property that makes every figure in this repo
+regenerable."""
+
+import pytest
+
+from repro.core import ChipConfig
+from repro.core.api import run_benchmark
+
+
+def run(protocol, seed, ops=15):
+    config = ChipConfig.variant(3, 3)
+    return run_benchmark("lu", protocol=protocol, config=config,
+                         ops_per_core=ops, workload_scale=0.02,
+                         think_scale=10.0, seed=seed)
+
+
+@pytest.mark.parametrize("protocol", ["scorpio", "lpd", "ht", "fullbit"])
+def test_same_seed_same_run(protocol):
+    first = run(protocol, seed=3)
+    second = run(protocol, seed=3)
+    assert first.runtime == second.runtime
+    assert first.completed_ops == second.completed_ops
+    assert first.stats == second.stats
+
+
+def test_different_seeds_differ():
+    runtimes = {run("scorpio", seed=s).runtime for s in range(4)}
+    assert len(runtimes) > 1, "seeds should perturb the workload"
+
+
+def test_baseline_systems_deterministic():
+    from repro.noc.config import NocConfig
+    from repro.ordering_baselines.systems import (TimestampSystem,
+                                                  UncorqSystem)
+    from repro.workloads.synthetic import uniform_random_trace
+
+    for builder in (TimestampSystem, UncorqSystem):
+        runtimes = []
+        for _ in range(2):
+            traces = [uniform_random_trace(c, 8, 8, write_fraction=0.5,
+                                           think=4, seed=17)
+                      for c in range(9)]
+            system = builder(traces=traces,
+                             noc=NocConfig(width=3, height=3))
+            system.run_until_done(300_000)
+            assert system.all_cores_finished()
+            runtimes.append(system.engine.cycle)
+        assert runtimes[0] == runtimes[1], builder.__name__

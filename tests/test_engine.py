@@ -1,0 +1,152 @@
+"""Unit tests for the cycle-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Clocked, Engine
+from repro.sim.stats import Histogram, StatsRegistry
+
+
+class Counter(Clocked):
+    def __init__(self):
+        self.value = 0
+        self._next = 0
+
+    def step(self, cycle):
+        self._next = self.value + 1
+
+    def commit(self, cycle):
+        self.value = self._next
+
+
+class Echo(Clocked):
+    """Reads another component's committed state during step."""
+
+    def __init__(self, source):
+        self.source = source
+        self.seen = []
+
+    def step(self, cycle):
+        self.seen.append(self.source.value)
+
+    def commit(self, cycle):
+        pass
+
+
+class TestEngine:
+    def test_tick_advances_cycle(self):
+        engine = Engine()
+        assert engine.cycle == 0
+        engine.tick()
+        assert engine.cycle == 1
+
+    def test_run_returns_cycles_simulated(self):
+        engine = Engine()
+        assert engine.run(10) == 10
+        assert engine.cycle == 10
+
+    def test_component_steps_every_cycle(self):
+        engine = Engine()
+        counter = engine.register(Counter())
+        engine.run(5)
+        assert counter.value == 5
+
+    def test_two_phase_isolation(self):
+        # Echo reads the counter's committed value: regardless of
+        # registration order, it must see the previous cycle's value.
+        engine = Engine()
+        counter = Counter()
+        echo = Echo(counter)
+        engine.register(counter)
+        engine.register(echo)
+        engine.run(3)
+        assert echo.seen == [0, 1, 2]
+
+    def test_two_phase_isolation_reversed_order(self):
+        engine = Engine()
+        counter = Counter()
+        echo = Echo(counter)
+        engine.register(echo)
+        engine.register(counter)
+        engine.run(3)
+        assert echo.seen == [0, 1, 2]
+
+    def test_until_predicate_stops_early(self):
+        engine = Engine()
+        counter = engine.register(Counter())
+        ran = engine.run(100, until=lambda: counter.value >= 7)
+        assert ran == 7
+
+    def test_stop_request(self):
+        engine = Engine()
+        counter = engine.register(Counter())
+        engine.add_watcher(lambda cycle: engine.stop() if cycle >= 4 else None)
+        engine.run(100)
+        assert engine.cycle == 4
+
+    def test_register_rejects_non_clocked(self):
+        engine = Engine()
+        with pytest.raises(TypeError):
+            engine.register(object())
+
+    def test_deterministic_random(self):
+        a = Engine(seed=42).random.random()
+        b = Engine(seed=42).random.random()
+        assert a == b
+
+
+class TestStats:
+    def test_counters(self):
+        stats = StatsRegistry()
+        stats.incr("x")
+        stats.incr("x", 4)
+        assert stats.counter("x") == 5
+        assert stats.counter("missing") == 0
+
+    def test_histogram_mean_min_max(self):
+        hist = Histogram()
+        for v in (1, 2, 3, 4):
+            hist.add(v)
+        assert hist.mean == 2.5
+        assert hist.minimum == 1
+        assert hist.maximum == 4
+        assert hist.count == 4
+
+    def test_histogram_percentile(self):
+        hist = Histogram()
+        for v in range(101):
+            hist.add(v)
+        assert hist.percentile(50) == 50
+        assert hist.percentile(100) == 100
+        assert hist.percentile(0) == 0
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.minimum is None
+
+    def test_snapshot_includes_means(self):
+        stats = StatsRegistry()
+        stats.observe("lat", 10)
+        stats.observe("lat", 20)
+        stats.incr("n")
+        snap = stats.snapshot()
+        assert snap["lat.mean"] == 15.0
+        assert snap["lat.count"] == 2.0
+        assert snap["n"] == 1.0
+
+    def test_snapshot_prefix_filter(self):
+        stats = StatsRegistry()
+        stats.incr("a.x")
+        stats.incr("b.y")
+        snap = stats.snapshot(prefixes=["a."])
+        assert "a.x" in snap and "b.y" not in snap
+
+    def test_merge(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.incr("n", 2)
+        b.incr("n", 3)
+        b.observe("lat", 7)
+        a.merge(b)
+        assert a.counter("n") == 5
+        assert a.mean("lat") == 7

@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts: each example's main() must run
+to completion (the fast ones run in-process here; the heavier sweeps are
+exercised by the benchmark harness instead)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "ordered_network_walkthrough",
+    "lock_contention",
+    "sharing_patterns",
+    "trace_file_workflow",
+]
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_every_example_has_main_and_docstring():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        assert '"""' in text.split("\n", 2)[-1] or text.startswith('#!'), \
+            f"{path.name}: missing docstring"
+        assert "def main()" in text, f"{path.name}: missing main()"
+        assert '__name__ == "__main__"' in text, \
+            f"{path.name}: not directly runnable"
+
+
+def test_walkthrough_all_nodes_agree(capsys):
+    module = load_example("ordered_network_walkthrough")
+    module.main()
+    out = capsys.readouterr().out
+    assert "agree" in out.lower() or "same" in out.lower()

@@ -1,0 +1,86 @@
+"""CSV export tests (repro.analysis.export)."""
+
+import pytest
+
+from repro.analysis.export import (FigureData, Series, export_stats,
+                                   normalized_series, read_figure_csv)
+
+
+class TestFigureData:
+    def test_roundtrip(self, tmp_path):
+        data = FigureData("fig6a", "benchmark", "normalized runtime")
+        lpd = data.new_series("lpd")
+        scorpio = data.new_series("scorpio")
+        for name, value in (("barnes", 1.0), ("lu", 1.0)):
+            lpd.add(name, value)
+        scorpio.add("barnes", 0.95)
+        scorpio.add("lu", 0.92)
+        path = data.write_csv(tmp_path / "fig6a.csv")
+        loaded = read_figure_csv(path)
+        assert loaded.x_label == "benchmark"
+        assert [s.name for s in loaded.series] == ["lpd", "scorpio"]
+        assert loaded.series[1].points == {"barnes": 0.95, "lu": 0.92}
+
+    def test_missing_points_stay_blank(self, tmp_path):
+        data = FigureData("f", "x", "y")
+        a = data.new_series("a")
+        b = data.new_series("b")
+        a.add("p1", 1.0)
+        b.add("p2", 2.0)
+        path = data.write_csv(tmp_path / "f.csv")
+        loaded = read_figure_csv(path)
+        assert loaded.series[0].points == {"p1": 1.0}
+        assert loaded.series[1].points == {"p2": 2.0}
+
+    def test_x_values_preserve_insertion_order(self):
+        data = FigureData("f", "x", "y")
+        s = data.new_series("s")
+        for x in ("z", "a", "m"):
+            s.add(x, 1.0)
+        assert data.x_values() == ["z", "a", "m"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        data = FigureData("f", "x", "y")
+        data.new_series("s").add("p", 1.0)
+        path = data.write_csv(tmp_path / "deep" / "nested" / "f.csv")
+        assert path.exists()
+
+    def test_read_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_figure_csv(path)
+
+
+class TestExportStats:
+    def test_writes_sorted_rows(self, tmp_path):
+        path = export_stats({"b.two": 2.0, "a.one": 1.0},
+                            tmp_path / "stats.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "stat,value"
+        assert lines[1].startswith("a.one")
+
+    def test_prefix_filter(self, tmp_path):
+        path = export_stats({"noc.flits": 5.0, "l2.hits": 3.0},
+                            tmp_path / "stats.csv", prefixes=("noc.",))
+        text = path.read_text()
+        assert "noc.flits" in text
+        assert "l2.hits" not in text
+
+
+class TestNormalizedSeries:
+    def test_normalizes_to_baseline(self):
+        rows = {"barnes": {"lpd": 1000.0, "scorpio": 900.0},
+                "lu": {"lpd": 2000.0, "scorpio": 1800.0}}
+        data = normalized_series("fig6a", "benchmark", rows, "lpd")
+        by_name = {s.name: s for s in data.series}
+        assert by_name["lpd"].points == {"barnes": 1.0, "lu": 1.0}
+        assert by_name["scorpio"].points["barnes"] == pytest.approx(0.9)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            normalized_series("f", "x", {"p": {"scorpio": 1.0}}, "lpd")
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            normalized_series("f", "x", {"p": {"lpd": 0.0}}, "lpd")

@@ -1,0 +1,80 @@
+"""Figure-regeneration module tests (repro.analysis.figures)."""
+
+import pytest
+
+from repro.analysis.figures import figure_ids, generate
+
+
+class TestRegistry:
+    def test_every_paper_artifact_covered(self):
+        ids = figure_ids()
+        for required in ("table1", "table2", "fig6a", "fig6b", "fig6c",
+                         "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
+                         "fig9", "fig10"):
+            assert required in ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            generate("fig0")
+
+
+class TestStaticFigures:
+    def test_table1(self):
+        text = generate("table1")
+        assert "6x6 mesh" in text
+        assert "833 MHz" in text
+
+    def test_table2(self):
+        text = generate("table2")
+        assert "SCORPIO" in text
+        assert "Sequential consistency" in text
+
+    def test_fig9(self):
+        text = generate("fig9")
+        assert "nic_router" in text
+        assert "19.0" in text        # the NIC+router power slice
+        assert "28.8" in text        # chip watts
+
+
+class TestSimulatedFigures:
+    """Quick-regime smoke runs of the simulation-backed figures."""
+
+    def test_fig8d_notification_sweep(self):
+        text = generate("fig8d")
+        assert "1.000" in text       # normalized to the first point
+        assert "bits" in text
+
+    def test_fig10_pipelining(self):
+        text = generate("fig10")
+        # Pipelining must reduce service latency on every row.
+        rows = [line for line in text.splitlines()
+                if line and line[0].isdigit()]
+        assert rows
+        for row in rows:
+            fields = row.split()
+            non_pl, pl = float(fields[-3]), float(fields[-2])
+            assert pl <= non_pl
+
+    def test_fig6a_protocol_ordering(self):
+        text = generate("fig6a")
+        avg = next(line for line in text.splitlines()
+                   if line.startswith("AVG"))
+        _, lpd, ht, scorpio = avg.split()
+        assert float(lpd) == pytest.approx(1.0)
+        assert float(scorpio) < float(lpd)
+
+
+class TestExtraFigures:
+    def test_locks_figure(self):
+        text = generate("locks")
+        assert "SCORPIO" in text and "LPD-D" in text
+        assert "Lock handoff" in text
+
+    def test_fullbit_figure(self):
+        text = generate("fullbit")
+        rows = [line for line in text.splitlines()
+                if line and line.split()[0] in ("barnes", "lu")]
+        assert rows
+        for row in rows:
+            ratio = float(row.split()[-1])
+            assert 0.85 < ratio < 1.15   # the "almost identical" claim

@@ -1,0 +1,130 @@
+"""NIC tests: notification announce/receive, ESID sequencing, stop bit,
+back-pressure, and the reserved-VC eligibility oracle."""
+
+import pytest
+
+from repro.nic.controller import NetworkInterface
+from repro.noc.config import NocConfig, NotificationConfig
+
+
+def make_nic(node=0, ordered=True, **notif_overrides):
+    noc = NocConfig()
+    defaults = dict(bits_per_core=1, window=13, max_pending=4,
+                    tracker_queue_depth=4)
+    defaults.update(notif_overrides)
+    notif = NotificationConfig(**defaults)
+    return NetworkInterface(node, noc, notif, ordering_enabled=ordered)
+
+
+class TestNotificationComposition:
+    def test_no_pending_sends_nothing(self):
+        nic = make_nic()
+        assert nic.compose_notification() == 0
+
+    def test_pending_announced_once(self):
+        nic = make_nic(node=3)
+        nic.pending_notifications = 1
+        vector = nic.compose_notification()
+        assert vector == 1 << 3
+        assert nic.pending_notifications == 0
+        assert nic.compose_notification() == 0
+
+    def test_announce_capped_per_window(self):
+        nic = make_nic(node=0, bits_per_core=1)
+        nic.pending_notifications = 3
+        assert nic.compose_notification() == 1   # only one per window
+        assert nic.pending_notifications == 2
+
+    def test_multibit_announces_more(self):
+        nic = make_nic(node=0, bits_per_core=2)
+        nic.pending_notifications = 3
+        assert nic.compose_notification() == 3
+        assert nic.pending_notifications == 0
+
+    def test_unordered_nic_is_silent(self):
+        nic = make_nic(ordered=False)
+        nic.pending_notifications = 2
+        assert nic.compose_notification() == 0
+
+
+class TestStopBit:
+    def fill_tracker(self, nic):
+        for sid in range(nic.notif_config.tracker_queue_depth):
+            nic.tracker.push(1 << (sid + 1))
+
+    def test_full_queue_asserts_stop(self):
+        nic = make_nic(node=2)
+        self.fill_tracker(nic)
+        vector = nic.compose_notification()
+        stop_bit = nic.noc_config.n_nodes * nic.notif_config.bits_per_core
+        assert vector >> stop_bit & 1
+
+    def test_stopped_window_rolls_back_announcement(self):
+        nic = make_nic(node=5)
+        nic.pending_notifications = 1
+        sent = nic.compose_notification()
+        assert sent
+        stop_bit = nic.noc_config.n_nodes * nic.notif_config.bits_per_core
+        nic.receive_merged_notification(sent | (1 << stop_bit))
+        # The announcement must be re-sent later.
+        assert nic.pending_notifications == 1
+        # And the NIC is suppressed until a clean window.
+        nic.pending_notifications = 1
+        assert nic.compose_notification() == 0
+        nic.receive_merged_notification(0)   # clean window re-enables
+        assert nic.compose_notification() != 0
+
+    def test_clean_window_pushes_to_tracker(self):
+        nic = make_nic()
+        nic.receive_merged_notification(1 << 7)
+        assert nic.tracker.current_esid() == 7
+
+
+class TestBackpressure:
+    def test_can_send_request_cap(self):
+        nic = make_nic(max_pending=2)
+        assert nic.can_send_request()
+        nic.send_request(object())
+        nic.send_request(object())
+        assert not nic.can_send_request()
+        with pytest.raises(RuntimeError):
+            nic.send_request(object())
+
+    def test_ordered_rejects_unicast_request(self):
+        nic = make_nic()
+        with pytest.raises(ValueError):
+            nic.send_request(object(), dst=3)
+
+    def test_unordered_accepts_unicast(self):
+        nic = make_nic(ordered=False)
+        nic.send_request(object(), dst=3)   # no exception
+
+
+class TestRvcEligibility:
+    def test_expected_request_is_eligible(self):
+        nic = make_nic(node=0)
+        nic.receive_merged_notification(1 << 4)   # sid 4 announced
+        assert nic.current_esid() == 4
+        assert nic.rvc_eligible(sid=4, seq=0)
+
+    def test_unexpected_request_not_eligible(self):
+        nic = make_nic(node=0)
+        nic.receive_merged_notification(1 << 4)
+        assert not nic.rvc_eligible(sid=9, seq=0)
+
+    def test_consumed_transit_copy_is_eligible(self):
+        # A copy of a request this NIC already consumed outranks anything
+        # still pending here (it is bound for nodes further downstream).
+        nic = make_nic(node=0)
+        nic._consumed_counts[4] = 1
+        assert nic.rvc_eligible(sid=4, seq=0)
+        assert not nic.rvc_eligible(sid=4, seq=1)
+
+    def test_future_seq_not_eligible(self):
+        nic = make_nic(node=0)
+        nic.receive_merged_notification(1 << 4)
+        assert not nic.rvc_eligible(sid=4, seq=3)
+
+    def test_unordered_never_eligible(self):
+        nic = make_nic(ordered=False)
+        assert not nic.rvc_eligible(sid=0, seq=0)

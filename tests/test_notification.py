@@ -1,0 +1,193 @@
+"""Tests for the notification network and tracker — the heart of
+SCORPIO's distributed ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.config import NotificationConfig
+from repro.notification.network import NotificationNetwork
+from repro.notification.tracker import NotificationTracker
+from repro.sim.engine import Engine
+
+
+def build_network(width=6, height=6, window=13, bits=1):
+    engine = Engine()
+    config = NotificationConfig(bits_per_core=bits, window=window)
+    net = NotificationNetwork(width, height, config, engine)
+    return engine, net
+
+
+class TestNotificationNetwork:
+    def test_window_below_bound_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            NotificationNetwork(6, 6, NotificationConfig(window=5), engine)
+
+    def test_minimum_window(self):
+        assert NotificationConfig.minimum_window(6, 6) == 11
+        assert NotificationConfig.minimum_window(10, 10) == 19
+
+    def test_single_source_reaches_all(self):
+        engine, net = build_network()
+        received = {}
+        for node in range(36):
+            net.attach(node,
+                       (lambda n: (lambda: net.encode(n, 1) if n == 7 else 0))(node),
+                       (lambda n: (lambda v: received.__setitem__(n, v)))(node))
+        engine.run(13)
+        assert len(received) == 36
+        assert all(v == received[0] for v in received.values())
+        assert net.core_count(received[0], 7) == 1
+        assert net.core_count(received[0], 8) == 0
+
+    def test_merge_multiple_sources(self):
+        engine, net = build_network()
+        received = {}
+        senders = {3, 17, 35}
+        for node in range(36):
+            net.attach(node,
+                       (lambda n: (lambda: net.encode(n, 1)
+                                   if n in senders else 0))(node),
+                       (lambda n: (lambda v: received.__setitem__(n, v)))(node))
+        engine.run(13)
+        merged = received[0]
+        for core in range(36):
+            assert net.core_count(merged, core) == (1 if core in senders else 0)
+
+    def test_multi_bit_counts(self):
+        engine, net = build_network(bits=2)
+        received = {}
+        for node in range(36):
+            net.attach(node,
+                       (lambda n: (lambda: net.encode(n, 3) if n == 0 else 0))(node),
+                       (lambda n: (lambda v: received.__setitem__(n, v)))(node))
+        engine.run(13)
+        assert net.core_count(received[5], 0) == 3
+
+    def test_encode_rejects_overflow(self):
+        _engine, net = build_network(bits=1)
+        with pytest.raises(ValueError):
+            net.encode(0, 2)
+
+    def test_stop_bit_roundtrip(self):
+        _engine, net = build_network()
+        vector = net.encode(4, 1, stop=True)
+        assert net.stop_asserted(vector)
+        assert net.core_count(vector, 4) == 1
+
+    def test_windows_are_independent(self):
+        engine, net = build_network()
+        log = []
+        toggles = iter([5, 0, 9])  # sender per window (0 = nobody)
+
+        state = {"sender": None}
+
+        def source_for(node):
+            def source():
+                return net.encode(node, 1) if node == state["sender"] else 0
+            return source
+
+        for node in range(36):
+            net.attach(node, source_for(node),
+                       (lambda n: (lambda v: log.append((n, v))
+                                   if n == 0 else None))(node))
+        for sender in (5, None, 9):
+            state["sender"] = sender
+            engine.run(13)
+        vectors = [v for _n, v in log]
+        assert net.core_count(vectors[0], 5) == 1
+        assert vectors[1] == 0
+        assert net.core_count(vectors[2], 9) == 1
+        assert net.core_count(vectors[2], 5) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(2, 7), height=st.integers(2, 7),
+           senders=st.sets(st.integers(0, 48)))
+    def test_property_all_nodes_agree(self, width, height, senders):
+        n = width * height
+        senders = {s % n for s in senders}
+        engine = Engine()
+        window = NotificationConfig.minimum_window(width, height)
+        net = NotificationNetwork(width, height,
+                                  NotificationConfig(window=window), engine)
+        received = {}
+        for node in range(n):
+            net.attach(node,
+                       (lambda k: (lambda: net.encode(k, 1)
+                                   if k in senders else 0))(node),
+                       (lambda k: (lambda v: received.__setitem__(k, v)))(node))
+        engine.run(window)
+        assert len(set(received.values())) == 1
+        merged = received[0]
+        decoded = {c for c in range(n) if net.core_count(merged, c)}
+        assert decoded == senders
+
+
+class TestNotificationTracker:
+    def make(self, n=4, bits=1, depth=4):
+        return NotificationTracker(n, bits, depth)
+
+    def encode(self, tracker, counts):
+        vector = 0
+        for core, count in counts.items():
+            vector |= count << (core * tracker.bits_per_core)
+        return vector
+
+    def test_esid_sequence_single_window(self):
+        tracker = self.make()
+        tracker.push(self.encode(tracker, {1: 1, 3: 1}))
+        assert tracker.current_esid() == 1
+        assert tracker.consume_esid() == 1
+        assert tracker.current_esid() == 3
+        tracker.consume_esid()
+        assert tracker.current_esid() is None
+
+    def test_rotating_priority_advances_per_message(self):
+        tracker = self.make()
+        tracker.push(self.encode(tracker, {0: 1, 1: 1}))
+        tracker.consume_esid()
+        tracker.consume_esid()
+        # Pointer advanced to 1: next window orders 1 before 0.
+        tracker.push(self.encode(tracker, {0: 1, 1: 1}))
+        assert tracker.consume_esid() == 1
+        assert tracker.consume_esid() == 0
+
+    def test_multibit_expansion(self):
+        tracker = self.make(bits=2)
+        tracker.push(self.encode(tracker, {2: 3, 0: 1}))
+        order = [tracker.consume_esid() for _ in range(4)]
+        assert order == [0, 2, 2, 2]
+
+    def test_queue_full_and_overrun(self):
+        tracker = self.make(depth=2)
+        tracker.push(self.encode(tracker, {0: 1}))
+        tracker.push(self.encode(tracker, {1: 1}))
+        assert tracker.queue_full
+        with pytest.raises(RuntimeError):
+            tracker.push(self.encode(tracker, {2: 1}))
+
+    def test_consume_without_pending_raises(self):
+        tracker = self.make()
+        with pytest.raises(RuntimeError):
+            tracker.consume_esid()
+
+    def test_outstanding_counts_queue_and_expansion(self):
+        tracker = self.make(bits=2)
+        tracker.push(self.encode(tracker, {1: 2}))
+        tracker.push(self.encode(tracker, {2: 1}))
+        assert tracker.outstanding() == 3
+        tracker.consume_esid()
+        assert tracker.outstanding() == 2
+
+    def test_two_trackers_agree(self):
+        # The distributed-ordering property: same inputs -> same order.
+        a, b = self.make(), self.make()
+        windows = [{0: 1, 2: 1}, {1: 1}, {0: 1, 1: 1, 3: 1}]
+        orders = [[], []]
+        for tracker, out in ((a, orders[0]), (b, orders[1])):
+            for counts in windows:
+                tracker.push(self.encode(tracker, counts))
+            while tracker.current_esid() is not None:
+                out.append(tracker.consume_esid())
+        assert orders[0] == orders[1]

@@ -1,0 +1,72 @@
+"""Paper-data transcription tests (repro.analysis.paper_data)."""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.paper_data import Claim, comparison_table
+
+
+class TestTranscription:
+    def test_headline_numbers(self):
+        assert paper_data.RUNTIME_REDUCTION_VS_LPD == 0.241
+        assert paper_data.RUNTIME_REDUCTION_VS_HT == 0.129
+        assert paper_data.AVG_L2_SERVICE_CYCLES == {"scorpio": 78,
+                                                    "lpd": 94, "ht": 91}
+
+    def test_implied_ht_vs_lpd_is_between_zero_and_one(self):
+        ratio = paper_data.ht_vs_lpd_runtime()
+        # HT-D sits between SCORPIO and LPD-D: 0.759/0.871 ~ 0.871.
+        assert 0.8 < ratio < 0.95
+        assert ratio == pytest.approx((1 - 0.241) / (1 - 0.129))
+
+    def test_fig9_totals_match_area_power_model(self):
+        from repro.analysis.area_power import (CHIP_POWER_W,
+                                               PAPER_TILE_POWER_PCT,
+                                               TILE_POWER_MW)
+        assert paper_data.CHIP_POWER_W == CHIP_POWER_W
+        assert paper_data.TILE_POWER_MW == TILE_POWER_MW
+        assert paper_data.NIC_ROUTER_POWER_PCT \
+            == PAPER_TILE_POWER_PCT["nic_router"]
+
+    def test_broadcast_capacity_is_inverse_square(self):
+        # The paper rounds 1/36 = 0.0278 to "0.027 flits/node/cycle".
+        assert paper_data.BROADCAST_CAPACITY[36] == pytest.approx(1 / 36,
+                                                                  abs=1e-3)
+        assert paper_data.BROADCAST_CAPACITY[100] == pytest.approx(1 / 100,
+                                                                   abs=1e-3)
+
+    def test_pipelining_gains_grow_with_cores(self):
+        gains = paper_data.PIPELINING_GAIN
+        assert gains[36] < gains[64] < gains[100]
+
+
+class TestClaim:
+    def test_ratio(self):
+        claim = Claim("runtime", paper=0.759, measured=0.948)
+        assert claim.ratio == pytest.approx(0.948 / 0.759)
+
+    def test_ratio_none_without_measurement(self):
+        assert Claim("x", paper=1.0).ratio is None
+
+    def test_ratio_none_for_zero_paper(self):
+        assert Claim("x", paper=0.0, measured=1.0).ratio is None
+
+
+class TestComparisonTable:
+    def test_renders_both_columns(self):
+        text = comparison_table({
+            "scorpio_vs_lpd": (0.759, 0.948),
+            "scorpio_vs_ht": (0.871, None),
+        })
+        assert "0.759" in text and "0.948" in text
+        assert "—" in text
+
+    def test_measured_against_this_repo(self):
+        # The EXPERIMENTS.md headline: measured 0.948 vs paper 0.759 —
+        # compressed but the same side of 1.0.
+        paper = 1 - paper_data.RUNTIME_REDUCTION_VS_LPD
+        measured = 0.948
+        assert paper < 1.0 and measured < 1.0
+        text = comparison_table({"fig6a": (paper, measured)},
+                                title="Figure 6a")
+        assert text.startswith("Figure 6a")

@@ -1,0 +1,241 @@
+"""Router + mesh integration tests: latencies, broadcast delivery,
+point-to-point ordering, bypass behaviour.
+
+Uses a bare-bones NIC-like endpoint so the NoC is tested without the
+coherence stack on top.
+"""
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.mesh import Mesh, zero_load_latency
+from repro.noc.packet import Packet, VNet
+from repro.noc.router import LOOKAHEAD_DELAY, Lookahead
+from repro.noc.routing import LOCAL
+from repro.noc.sid_tracker import SidTracker
+from repro.noc.vc import CreditTracker
+from repro.sim.engine import Engine
+
+
+class StubEndpoint:
+    """Minimal NIC: injects packets, records ejections, returns credits."""
+
+    def __init__(self, node: int, config: NocConfig) -> None:
+        self.node = node
+        self.config = config
+        self.router = None
+        self.received: List[Tuple[int, Packet]] = []
+        self._inject_credits: Optional[CreditTracker] = None
+        self._sid_tracker = SidTracker()
+        self._credit_returns = []
+        self._pending = []
+        self.sent = 0
+
+    def attach(self, router) -> None:
+        self.router = router
+        depth = max(self.config.uoresp_vc_depth, self.config.data_flits)
+        self._inject_credits = CreditTracker(
+            self.config.goreq_vcs, self.config.goreq_vc_depth,
+            self.config.uoresp_vcs, depth, self.config.reserved_vc)
+
+    # downstream interface -------------------------------------------------
+    def deliver_packet(self, packet, inport, vnet, vc_index, arrive_cycle):
+        self._pending.append((arrive_cycle, packet, vnet, vc_index))
+
+    def deliver_lookahead(self, la, process_cycle):
+        pass
+
+    def queue_credit_release(self, outport, vnet, vc, flits, cycle):
+        self._credit_returns.append((cycle, vnet, vc, flits))
+
+    # clocked-ish helpers (driven manually by tests) ------------------------
+    def tick(self, cycle: int) -> None:
+        for entry in [e for e in self._credit_returns if e[0] <= cycle]:
+            self._credit_returns.remove(entry)
+            _c, vnet, vc, flits = entry
+            self._inject_credits.release(vnet, vc, flits)
+            if vnet == VNet.GO_REQ and self._inject_credits.vc_free(vnet, vc):
+                self._sid_tracker.clear_vc(vc)
+        for entry in [e for e in self._pending if e[0] <= cycle]:
+            self._pending.remove(entry)
+            _c, packet, vnet, vc_index = entry
+            self.received.append((cycle, packet))
+            self.router.queue_credit_release(LOCAL, vnet, vc_index,
+                                             packet.size_flits, cycle + 1)
+
+    def inject(self, packet: Packet, cycle: int) -> bool:
+        vnet = packet.vnet
+        if vnet == VNet.GO_REQ and self._sid_tracker.blocks(packet.sid):
+            return False
+        free = self._inject_credits.free_normal_vcs(vnet)
+        if not free:
+            return False
+        vc = free[0]
+        self._inject_credits.consume(vnet, vc, packet.size_flits)
+        if vnet == VNet.GO_REQ:
+            self._sid_tracker.record(vc, packet.sid)
+        packet.inject_cycle = cycle
+        if self.config.lookahead_bypass:
+            self.router.deliver_lookahead(
+                Lookahead(packet=packet, inport=LOCAL),
+                process_cycle=cycle + LOOKAHEAD_DELAY)
+        self.router.deliver_packet(packet, LOCAL, vnet, vc,
+                                   arrive_cycle=cycle + 2)
+        self.sent += 1
+        return True
+
+
+class Fabric:
+    """A mesh with stub endpoints driven in lockstep."""
+
+    def __init__(self, width=4, height=4, **noc_overrides):
+        self.config = NocConfig(width=width, height=height, **noc_overrides)
+        self.engine = Engine()
+        self.mesh = Mesh(self.config, self.engine)
+        self.endpoints = []
+        for node in range(self.config.n_nodes):
+            ep = StubEndpoint(node, self.config)
+            router = self.mesh.attach(node, ep)
+            ep.attach(router)
+            self.endpoints.append(ep)
+        self.engine.add_watcher(self._tick_endpoints)
+
+    def _tick_endpoints(self, cycle):
+        for ep in self.endpoints:
+            ep.tick(cycle)
+
+    def run(self, cycles):
+        self.engine.run(cycles)
+
+
+def unicast(src, dst, size=1, vnet=VNet.UO_RESP, seq=0):
+    return Packet(vnet=vnet, src=src, dst=dst, sid=src, size_flits=size,
+                  seq=seq)
+
+
+def broadcast(src, seq=0):
+    return Packet(vnet=VNet.GO_REQ, src=src, dst=None, sid=src,
+                  size_flits=1, seq=seq)
+
+
+class TestUnicast:
+    def test_delivery(self):
+        fabric = Fabric()
+        fabric.endpoints[0].inject(unicast(0, 15), cycle=0)
+        fabric.run(60)
+        received = fabric.endpoints[15].received
+        assert len(received) == 1
+        assert received[0][1].src == 0
+
+    def test_zero_load_latency_matches_model(self):
+        fabric = Fabric()
+        fabric.endpoints[0].inject(unicast(0, 15), cycle=0)
+        fabric.run(60)
+        cycle, _pkt = fabric.endpoints[15].received[0]
+        assert cycle == zero_load_latency(fabric.config, 0, 15)
+
+    def test_latency_scales_with_hops(self):
+        fabric = Fabric()
+        fabric.endpoints[5].inject(unicast(5, 6), cycle=0)   # 1 hop
+        fabric.run(60)
+        one_hop = fabric.endpoints[6].received[0][0]
+        fabric2 = Fabric()
+        fabric2.endpoints[0].inject(unicast(0, 3), cycle=0)  # 3 hops
+        fabric2.run(60)
+        three_hops = fabric2.endpoints[3].received[0][0]
+        assert three_hops == one_hop + 2 * 2   # 2 cycles per extra hop
+
+    def test_no_bypass_is_slower(self):
+        fast = Fabric()
+        slow = Fabric(lookahead_bypass=False)
+        fast.endpoints[0].inject(unicast(0, 15), cycle=0)
+        slow.endpoints[0].inject(unicast(0, 15), cycle=0)
+        fast.run(80)
+        slow.run(80)
+        assert slow.endpoints[15].received[0][0] \
+            > fast.endpoints[15].received[0][0]
+
+    def test_multiflit_serialization(self):
+        fabric = Fabric()
+        fabric.endpoints[0].inject(unicast(0, 1, size=3), cycle=0)
+        fabric.run(60)
+        single = Fabric()
+        single.endpoints[0].inject(unicast(0, 1, size=1), cycle=0)
+        single.run(60)
+        # The 3-flit packet's tail arrives 2 cycles after a 1-flit packet.
+        assert fabric.endpoints[1].received[0][0] \
+            == single.endpoints[1].received[0][0] + 2
+
+
+class TestBroadcast:
+    def test_all_nodes_receive_exactly_once(self):
+        fabric = Fabric()
+        fabric.endpoints[5].inject(broadcast(5), cycle=0)
+        fabric.run(80)
+        for node, ep in enumerate(fabric.endpoints):
+            assert len(ep.received) == 1, f"node {node}"
+            assert ep.received[0][1].sid == 5
+
+    def test_source_receives_own_broadcast(self):
+        fabric = Fabric()
+        fabric.endpoints[9].inject(broadcast(9), cycle=0)
+        fabric.run(80)
+        assert len(fabric.endpoints[9].received) == 1
+
+    def test_concurrent_broadcasts_all_delivered(self):
+        fabric = Fabric()
+        for node in range(16):
+            fabric.endpoints[node].inject(broadcast(node, seq=0), cycle=0)
+        fabric.run(400)
+        for ep in fabric.endpoints:
+            assert len(ep.received) == 16
+            assert sorted(p.sid for _c, p in ep.received) == list(range(16))
+
+    def test_sid_invariant_under_load(self):
+        fabric = Fabric()
+        checks = []
+        fabric.engine.add_watcher(
+            lambda _c: checks.append(fabric.mesh.check_sid_invariant()))
+        for node in range(16):
+            fabric.endpoints[node].inject(broadcast(node), cycle=0)
+        fabric.run(200)
+        assert all(checks)
+
+    def test_point_to_point_order_same_source(self):
+        # Two broadcasts from one source must arrive in order everywhere.
+        fabric = Fabric()
+        first = broadcast(3, seq=0)
+        second = broadcast(3, seq=1)
+        fabric.endpoints[3].inject(first, cycle=0)
+
+        injected = {"done": False}
+
+        def try_second(cycle):
+            if not injected["done"]:
+                injected["done"] = fabric.endpoints[3].inject(second, cycle)
+
+        fabric.engine.add_watcher(try_second)
+        fabric.run(300)
+        for node, ep in enumerate(fabric.endpoints):
+            seqs = [p.seq for _c, p in ep.received if p.sid == 3]
+            assert seqs == [0, 1], f"node {node} saw {seqs}"
+
+    def test_quiescence_after_drain(self):
+        fabric = Fabric()
+        fabric.endpoints[0].inject(broadcast(0), cycle=0)
+        fabric.run(100)
+        assert fabric.mesh.quiescent()
+
+
+class TestMeshMisc:
+    def test_double_attach_rejected(self):
+        fabric = Fabric(width=2, height=2)
+        with pytest.raises(ValueError):
+            fabric.mesh.attach(0, StubEndpoint(0, fabric.config))
+
+    def test_occupancy_zero_at_rest(self):
+        fabric = Fabric()
+        fabric.run(10)
+        assert fabric.mesh.total_occupancy() == 0

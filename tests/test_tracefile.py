@@ -1,0 +1,128 @@
+"""Trace file round-trip and format-error tests (repro.cpu.tracefile)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import Trace, TraceOp
+from repro.cpu.tracefile import (MAGIC, TraceFormatError, dump_traces,
+                                 dumps_traces, load_traces)
+
+ADDR = 0x4000_0000
+
+
+def roundtrip(traces, expect_cores=0):
+    return load_traces(io.StringIO(dumps_traces(traces)), expect_cores)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        traces = [
+            Trace([TraceOp("R", ADDR, 3), TraceOp("W", ADDR + 32, 1)]),
+            Trace([TraceOp("A", 0x5000_0000, 10)]),
+        ]
+        loaded = roundtrip(traces)
+        assert len(loaded) == 2
+        assert list(loaded[0]) == list(traces[0])
+        assert list(loaded[1]) == list(traces[1])
+
+    def test_empty_core_preserved(self):
+        traces = [Trace([]), Trace([TraceOp("R", ADDR, 1)])]
+        loaded = roundtrip(traces)
+        assert len(loaded) == 2
+        assert len(loaded[0]) == 0
+
+    def test_expect_cores_pads(self):
+        loaded = roundtrip([Trace([TraceOp("R", ADDR, 1)])], expect_cores=9)
+        assert len(loaded) == 9
+        assert all(len(t) == 0 for t in loaded[1:])
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.trace"
+        traces = [Trace([TraceOp("W", ADDR + 64 * i, i + 1)])
+                  for i in range(4)]
+        dump_traces(traces, path)
+        loaded = load_traces(path)
+        assert [list(t) for t in loaded] == [list(t) for t in traces]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.lists(st.tuples(st.sampled_from("RWA"),
+                           st.integers(min_value=0, max_value=1 << 40),
+                           st.integers(min_value=0, max_value=10_000)),
+                 max_size=20),
+        min_size=1, max_size=8))
+    def test_roundtrip_property(self, spec):
+        traces = [Trace([TraceOp(op, addr, think)
+                         for op, addr, think in ops]) for ops in spec]
+        loaded = roundtrip(traces)
+        assert [list(t) for t in loaded] == [list(t) for t in traces]
+
+
+class TestFormatErrors:
+    def test_missing_magic(self):
+        with pytest.raises(TraceFormatError, match="expected"):
+            load_traces(io.StringIO("core 0\nR 0x0 1\n"))
+
+    def test_empty_file(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_traces(io.StringIO(""))
+
+    def test_op_before_core_header(self):
+        with pytest.raises(TraceFormatError, match="before any"):
+            load_traces(io.StringIO(f"{MAGIC}\nR 0x0 1\n"))
+
+    def test_duplicate_core(self):
+        text = f"{MAGIC}\ncore 0\ncore 0\n"
+        with pytest.raises(TraceFormatError, match="duplicate"):
+            load_traces(io.StringIO(text))
+
+    def test_bad_op_kind(self):
+        text = f"{MAGIC}\ncore 0\nX 0x0 1\n"
+        with pytest.raises(TraceFormatError, match="op must be"):
+            load_traces(io.StringIO(text))
+
+    def test_bad_field_count(self):
+        text = f"{MAGIC}\ncore 0\nR 0x0\n"
+        with pytest.raises(TraceFormatError, match="expected"):
+            load_traces(io.StringIO(text))
+
+    def test_bad_number(self):
+        text = f"{MAGIC}\ncore 0\nR zebra 1\n"
+        with pytest.raises(TraceFormatError, match="not a number"):
+            load_traces(io.StringIO(text))
+
+    def test_negative_core(self):
+        text = f"{MAGIC}\ncore -1\n"
+        with pytest.raises(TraceFormatError, match="negative"):
+            load_traces(io.StringIO(text))
+
+    def test_too_many_cores_for_expectation(self):
+        text = f"{MAGIC}\ncore 11\nR 0x0 1\n"
+        with pytest.raises(TraceFormatError, match="expected"):
+            load_traces(io.StringIO(text), expect_cores=9)
+
+    def test_comments_and_blanks_ignored(self):
+        text = f"{MAGIC}\n\n# hello\ncore 0\n# op follows\nR 0x20 4\n\n"
+        loaded = load_traces(io.StringIO(text))
+        assert list(loaded[0]) == [TraceOp("R", 0x20, 4)]
+
+
+class TestApiIntegration:
+    def test_run_trace_file(self, tmp_path):
+        from repro.core import ChipConfig
+        from repro.core.api import run_trace_file
+        from repro.workloads.synthetic import generate_system_traces, scaled
+        from repro.workloads.suites import profile
+
+        config = ChipConfig.variant(3, 3)
+        prof = scaled(profile("fft"), 0.02, 10.0)
+        traces = generate_system_traces(prof, 9, 10, seed=1)
+        path = tmp_path / "fft.trace"
+        dump_traces(traces, path)
+
+        result = run_trace_file(path, protocol="scorpio", config=config)
+        assert result.progress == 1.0
+        assert result.completed_ops == sum(len(t) for t in traces)

@@ -1,0 +1,120 @@
+"""Unit tests for VC buffers, credit tracking and the SID tracker."""
+
+import pytest
+
+from repro.noc.packet import Packet, VNet
+from repro.noc.sid_tracker import SidTracker
+from repro.noc.vc import CreditTracker, InputPort, VCBuffer
+
+
+def make_packet(sid=0, size=1, vnet=VNet.GO_REQ):
+    return Packet(vnet=vnet, src=sid, dst=None, sid=sid, size_flits=size)
+
+
+class TestVCBuffer:
+    def test_accept_and_drain(self):
+        vc = VCBuffer(VNet.GO_REQ, 0, depth=1)
+        packet = make_packet()
+        vc.accept(packet, frozenset({1, 4}), cycle=10, pipeline_delay=2)
+        assert vc.occupied
+        assert vc.ready_cycle == 12
+        assert not vc.complete_outport(1)
+        assert vc.occupied
+        assert vc.complete_outport(4)
+        assert vc.free
+
+    def test_overrun_raises(self):
+        vc = VCBuffer(VNet.GO_REQ, 0, depth=1)
+        vc.accept(make_packet(), frozenset({1}), 0, 2)
+        with pytest.raises(RuntimeError):
+            vc.accept(make_packet(), frozenset({1}), 0, 2)
+
+    def test_oversize_packet_raises(self):
+        vc = VCBuffer(VNet.UO_RESP, 0, depth=3)
+        with pytest.raises(RuntimeError):
+            vc.accept(make_packet(size=5, vnet=VNet.UO_RESP),
+                      frozenset({1}), 0, 2)
+
+
+class TestInputPort:
+    def test_geometry_with_reserved(self):
+        port = InputPort(4, 1, 2, 3, reserved_vc=True)
+        goreq = port.vcs(VNet.GO_REQ)
+        assert len(goreq) == 5
+        assert goreq[-1].reserved
+        assert len(port.vcs(VNet.UO_RESP)) == 2
+
+    def test_occupancy_count(self):
+        port = InputPort(2, 1, 2, 3, reserved_vc=False)
+        assert port.occupied_buffers() == 0
+        port.vc(VNet.GO_REQ, 0).accept(make_packet(), frozenset({1}), 0, 2)
+        assert port.occupied_buffers() == 1
+
+
+class TestCreditTracker:
+    def test_initial_credits(self):
+        ct = CreditTracker(4, 1, 2, 3, reserved_vc=True)
+        assert ct.credits(VNet.GO_REQ, 0) == 1
+        assert ct.credits(VNet.UO_RESP, 1) == 3
+        assert ct.reserved_index == 4
+        assert ct.reserved_vc_free()
+
+    def test_consume_release_roundtrip(self):
+        ct = CreditTracker(4, 1, 2, 3, reserved_vc=True)
+        ct.consume(VNet.UO_RESP, 0, 3)
+        assert not ct.vc_free(VNet.UO_RESP, 0)
+        ct.release(VNet.UO_RESP, 0, 3)
+        assert ct.vc_free(VNet.UO_RESP, 0)
+
+    def test_underflow_raises(self):
+        ct = CreditTracker(4, 1, 2, 3, reserved_vc=True)
+        with pytest.raises(RuntimeError):
+            ct.consume(VNet.GO_REQ, 0, 2)
+
+    def test_overflow_raises(self):
+        ct = CreditTracker(4, 1, 2, 3, reserved_vc=True)
+        with pytest.raises(RuntimeError):
+            ct.release(VNet.GO_REQ, 0, 1)
+
+    def test_free_normal_excludes_reserved(self):
+        ct = CreditTracker(2, 1, 2, 3, reserved_vc=True)
+        free = ct.free_normal_vcs(VNet.GO_REQ)
+        assert free == [0, 1]
+        ct.consume(VNet.GO_REQ, 0, 1)
+        assert ct.free_normal_vcs(VNet.GO_REQ) == [1]
+
+
+class TestSidTracker:
+    def test_blocks_live_sid(self):
+        tracker = SidTracker()
+        assert not tracker.blocks(5)
+        tracker.record(vc=1, sid=5)
+        assert tracker.blocks(5)
+        assert not tracker.blocks(6)
+
+    def test_clear_on_credit_return(self):
+        tracker = SidTracker()
+        tracker.record(1, 5)
+        assert tracker.clear_vc(1) == 5
+        assert not tracker.blocks(5)
+
+    def test_same_sid_multiple_vcs(self):
+        # Can happen transiently across *different* output ports only;
+        # within one tracker it means two VCs hold the same source.
+        tracker = SidTracker()
+        tracker.record(0, 5)
+        tracker.record(1, 5)
+        tracker.clear_vc(0)
+        assert tracker.blocks(5)     # second entry still live
+        tracker.clear_vc(1)
+        assert not tracker.blocks(5)
+
+    def test_double_record_same_vc_raises(self):
+        tracker = SidTracker()
+        tracker.record(0, 5)
+        with pytest.raises(RuntimeError):
+            tracker.record(0, 6)
+
+    def test_clear_unknown_vc_is_noop(self):
+        tracker = SidTracker()
+        assert tracker.clear_vc(3) is None
