@@ -14,13 +14,38 @@ relative pressures that drive each figure (see EXPERIMENTS.md):
 Absolute cycle counts therefore differ from the paper; the *shape* (who
 wins, roughly by how much, where the crossovers are) is what each bench
 asserts and prints.
+
+Every harness here is auto-marked ``slow`` (see
+``pytest_collection_modifyitems``): the default test run (``pytest``,
+which applies ``-m "not slow"`` from pytest.ini) skips them, and
+``pytest -m slow benchmarks`` runs the full figure reproduction.
+
+Runs route through the experiment orchestrator
+(:mod:`repro.experiments`) via :func:`sweep_run`/:func:`sweep_grid`, so
+``REPRO_CACHE_DIR=... pytest -m slow benchmarks`` recalls previously
+simulated points instead of recomputing them.  ``REPRO_JOBS=N``
+additionally fans out the harnesses that batch a whole grid per call
+(:func:`sweep_grid` and the fig8 sweep); :func:`sweep_run` submits one
+point at a time, so those call sites stay serial when cold.
 """
 
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro.core import ChipConfig
+from repro.experiments import RunSpec, run_grid, run_sweep
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # The hook sees the whole session's items; mark only the harnesses
+    # that live in this directory.
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 # The down-scaled evaluation regime used across all figures.
 OPS_PER_CORE = 100
@@ -47,6 +72,23 @@ def run_once(benchmark_fixture, fn):
     cycles)."""
     return benchmark_fixture.pedantic(fn, rounds=1, iterations=1,
                                       warmup_rounds=0)
+
+
+def sweep_run(name, protocol, config, **regime):
+    """One run routed through the experiment orchestrator.
+
+    Drop-in for :func:`repro.core.run_benchmark` in the harnesses: same
+    RunResult out, but cache-aware (``REPRO_CACHE_DIR``)."""
+    spec = RunSpec(benchmark=name, protocol=protocol, config=config,
+                   **regime)
+    return run_sweep([spec])[0].to_run_result()
+
+
+def sweep_grid(benchmarks, protocols, config, **regime):
+    """A benchmark x protocol grid in one sweep batch: parallelizable
+    (``REPRO_JOBS``) and cached.  Returns {benchmark: {protocol:
+    RunResult}}."""
+    return run_grid(benchmarks, protocols, config=config, **regime)
 
 
 @pytest.fixture

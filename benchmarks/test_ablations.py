@@ -12,12 +12,12 @@ argues for — each ablated to show it earns its keep:
 
 from dataclasses import replace
 
-from repro.core import ChipConfig, run_benchmark
+from repro.core import ChipConfig
 from repro.cpu.trace import Trace, TraceOp
 from repro.noc.config import NocConfig
 from repro.systems.scorpio import ScorpioSystem
 
-from conftest import run_once
+from conftest import run_once, sweep_run
 
 REGIME = dict(ops_per_core=80, workload_scale=0.05, think_scale=20.0)
 
@@ -27,8 +27,8 @@ def test_ablation_lookahead_bypass(benchmark):
         base = ChipConfig.chip_36core()
         no_bypass = replace(base, noc=replace(base.noc,
                                               lookahead_bypass=False))
-        with_la = run_benchmark("lu", "scorpio", base, **REGIME)
-        without = run_benchmark("lu", "scorpio", no_bypass, **REGIME)
+        with_la = sweep_run("lu", "scorpio", base, **REGIME)
+        without = sweep_run("lu", "scorpio", no_bypass, **REGIME)
         return with_la, without
 
     with_la, without = run_once(benchmark, run)
@@ -75,8 +75,8 @@ def test_ablation_region_tracker(benchmark):
         base = ChipConfig.chip_36core()
         off = replace(base, cache=replace(base.cache,
                                           use_region_tracker=False))
-        with_rt = run_benchmark("blackscholes", "scorpio", base, **REGIME)
-        without = run_benchmark("blackscholes", "scorpio", off, **REGIME)
+        with_rt = sweep_run("blackscholes", "scorpio", base, **REGIME)
+        without = sweep_run("blackscholes", "scorpio", off, **REGIME)
         return with_rt, without
 
     with_rt, without = run_once(benchmark, run)
@@ -130,7 +130,7 @@ def test_ablation_notification_window(benchmark):
             base = ChipConfig.chip_36core()
             config = replace(base, notification=replace(
                 base.notification, window=window))
-            result = run_benchmark("lu", "scorpio", config, **REGIME)
+            result = sweep_run("lu", "scorpio", config, **REGIME)
             out[window] = result.stats.get("nic.order_latency.mean", 0.0)
         return out
 

@@ -8,10 +8,8 @@ k x k mesh's broadcast throughput falls as 1/k^2.
 
 import pytest
 
-from repro.core import run_benchmark
-
 from conftest import (DIR_CACHE_BYTES, OPS_PER_CORE, SEED, THINK_SCALE,
-                      WORKLOAD_SCALE, run_once)
+                      WORKLOAD_SCALE, run_once, sweep_run)
 from repro.core.config import ChipConfig
 
 BENCHMARKS = ["barnes", "blackscholes", "lu"]
@@ -21,7 +19,7 @@ OPS = {36: OPS_PER_CORE, 64: 80}
 
 
 def _avg_latency(config, name):
-    result = run_benchmark(
+    result = sweep_run(
         name, "scorpio", config, ops_per_core=OPS[config.n_cores],
         workload_scale=WORKLOAD_SCALE, think_scale=THINK_SCALE, seed=SEED)
     return result.avg_l2_service_latency

@@ -14,7 +14,7 @@ Each sweep runs a SPLASH-2 subset on the full 36-core SCORPIO system.
 
 import pytest
 
-from repro.core import run_benchmark
+from repro.experiments import RunSpec, run_sweep
 
 from conftest import chip36, run_once
 
@@ -23,13 +23,20 @@ BENCHMARKS = ["fft", "lu", "water-nsq"]
 
 def _sweep(configs, regime, benchmarks=BENCHMARKS):
     """runtime[config_label][benchmark], plus per-config average
-    normalized to the first config."""
-    runtimes = {}
-    for label, config in configs.items():
-        runtimes[label] = {
-            name: run_benchmark(name, "scorpio", config, **regime).runtime
-            for name in benchmarks
-        }
+    normalized to the first config.
+
+    All points go through the sweep runner in one batch, so the grid
+    parallelizes with REPRO_JOBS and caches with REPRO_CACHE_DIR.
+    Results pair to their (config, benchmark) axes via zip, keeping the
+    consumption order tied to the spec order."""
+    axes = [(label, config, name) for label, config in configs.items()
+            for name in benchmarks]
+    specs = [RunSpec(benchmark=name, protocol="scorpio", config=config,
+                     label=str(label), **regime)
+             for label, config, name in axes]
+    runtimes = {label: {} for label in configs}
+    for (label, _config, name), result in zip(axes, run_sweep(specs)):
+        runtimes[label][name] = result.runtime
     labels = list(configs)
     base = runtimes[labels[0]]
     normalized = {

@@ -11,29 +11,27 @@ choice of LPD as its pointer-scheme baseline.
 from dataclasses import replace
 
 from repro.coherence.directory import DirectoryConfig
-from repro.core.api import run_benchmark
 
 from conftest import (DIR_CACHE_BYTES, MAX_CYCLES, OPS_PER_CORE, SEED,
-                      THINK_SCALE, WORKLOAD_SCALE, chip36, run_once)
+                      THINK_SCALE, WORKLOAD_SCALE, chip36, run_once,
+                      sweep_grid)
 
 BENCHMARKS = ("barnes", "lu", "blackscholes", "canneal")
 
 
-def _run(name, protocol):
-    result = run_benchmark(name, protocol=protocol, config=chip36(),
-                           ops_per_core=OPS_PER_CORE,
-                           max_cycles=MAX_CYCLES,
-                           workload_scale=WORKLOAD_SCALE,
-                           think_scale=THINK_SCALE, seed=SEED)
-    assert result.progress == 1.0, f"{protocol}/{name} did not finish"
-    return result
-
-
 def test_sec5_fullbit_vs_lpd(benchmark):
     def sweep():
+        grid = sweep_grid(BENCHMARKS, ("lpd", "fullbit"), chip36(),
+                          ops_per_core=OPS_PER_CORE,
+                          max_cycles=MAX_CYCLES,
+                          workload_scale=WORKLOAD_SCALE,
+                          think_scale=THINK_SCALE, seed=SEED)
         out = {}
         for name in BENCHMARKS:
-            out[name] = {protocol: _run(name, protocol).runtime
+            for protocol, result in grid[name].items():
+                assert result.progress == 1.0, \
+                    f"{protocol}/{name} did not finish"
+            out[name] = {protocol: grid[name][protocol].runtime
                          for protocol in ("lpd", "fullbit")}
         return out
 

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core.api import compare_protocols, normalized_runtimes
+from repro.core.api import normalized_runtimes
 from repro.core.config import CHIP_FEATURES, ChipConfig
+from repro.experiments import RunSpec, run_grid, run_sweep
 
 # The quick regime: same scaling philosophy as benchmarks/conftest.py at
 # a size that renders interactively.
@@ -79,10 +80,10 @@ def fig6a(quick: bool = True, seed: int = 0) -> str:
         "swaptions")
     rows = []
     sums = {"lpd": 0.0, "ht": 0.0, "scorpio": 0.0}
+    grid = run_grid(benchmarks, ("lpd", "ht", "scorpio"), config=config,
+                    seed=seed, **QUICK)
     for name in benchmarks:
-        results = compare_protocols(name, ("lpd", "ht", "scorpio"),
-                                    config=config, seed=seed, **QUICK)
-        norm = normalized_runtimes(results, baseline="lpd")
+        norm = normalized_runtimes(grid[name], baseline="lpd")
         for proto in sums:
             sums[proto] += norm[proto]
         rows.append([name] + [f"{norm[p]:.3f}"
@@ -102,11 +103,11 @@ def _fig6_breakdown(served: str, title: str, quick: bool,
         "barnes", "fft", "lu", "blackscholes", "canneal", "fluidanimate")
     protocols = ("lpd", "ht", "scorpio")
     rows = []
+    grid = run_grid(benchmarks, protocols, config=config, seed=seed,
+                    **QUICK)
     for name in benchmarks:
-        results = compare_protocols(name, protocols, config=config,
-                                    seed=seed, **QUICK)
         for proto in protocols:
-            breakdown = results[proto].breakdown(served)
+            breakdown = grid[name][proto].breakdown(served)
             total = sum(breakdown.values())
             parts = " ".join(f"{k}={v:.0f}"
                              for k, v in sorted(breakdown.items()) if v)
@@ -178,19 +179,22 @@ def fig7(quick: bool = True, seed: int = 0) -> str:
 def _sweep(config_of: Callable[[object], ChipConfig], points,
            label: str, title: str, quick: bool, seed: int,
            benchmarks=None) -> str:
-    from repro.core.api import run_benchmark
     benchmarks = benchmarks or (("fft", "lu") if quick
                                 else ("barnes", "fft", "lu", "radix"))
+    # Pair each result to its (benchmark, point) axis explicitly via
+    # zip, so the consumption below cannot drift from the spec order.
+    axes = [(name, point) for name in benchmarks for point in points]
+    specs = [RunSpec(benchmark=name, protocol="scorpio",
+                     config=config_of(point), seed=seed, label=str(point),
+                     **QUICK)
+             for name, point in axes]
+    runtimes = {axis: result.runtime
+                for axis, result in zip(axes, run_sweep(specs))}
     rows = []
     for name in benchmarks:
-        runtimes = {}
-        for point in points:
-            result = run_benchmark(name, protocol="scorpio",
-                                   config=config_of(point), seed=seed,
-                                   **QUICK)
-            runtimes[point] = result.runtime
-        base = runtimes[points[0]]
-        rows.append([name] + [f"{runtimes[p] / base:.3f}" for p in points])
+        base = runtimes[(name, points[0])]
+        rows.append([name] + [f"{runtimes[(name, p)] / base:.3f}"
+                              for p in points])
     return _table([label] + [str(p) for p in points], rows, title)
 
 
@@ -255,20 +259,23 @@ def fig9(quick: bool = True, seed: int = 0) -> str:
 
 def fig10(quick: bool = True, seed: int = 0) -> str:
     """Uncore pipelining effect on average L2 service latency."""
-    from repro.core.api import run_benchmark
     meshes = ((4, 4), (6, 6)) if quick else ((6, 6), (8, 8))
     benchmarks = ("barnes", "lu") if quick else (
         "barnes", "blackscholes", "canneal", "fft", "fluidanimate", "lu")
+    axes = [(mesh, name, pipelined) for mesh in meshes
+            for name in benchmarks for pipelined in (False, True)]
+    specs = [RunSpec(benchmark=name, protocol="scorpio",
+                     config=ChipConfig.variant(*mesh)
+                     .with_pipelining(pipelined), seed=seed, **QUICK)
+             for mesh, name, pipelined in axes]
+    latency = {axis: result.to_run_result().avg_l2_service_latency
+               for axis, result in zip(axes, run_sweep(specs))}
     rows = []
     for width, height in meshes:
         for name in benchmarks:
-            latencies = {}
-            for pipelined in (False, True):
-                config = ChipConfig.variant(width, height)\
-                    .with_pipelining(pipelined)
-                result = run_benchmark(name, protocol="scorpio",
-                                       config=config, seed=seed, **QUICK)
-                latencies[pipelined] = result.avg_l2_service_latency
+            latencies = {pipelined: latency[((width, height), name,
+                                             pipelined)]
+                         for pipelined in (False, True)}
             gain = 1 - latencies[True] / latencies[False] \
                 if latencies[False] else 0.0
             rows.append([f"{width}x{height}", name,
@@ -350,15 +357,14 @@ def incf(quick: bool = True, seed: int = 0) -> str:
 
 def fullbit(quick: bool = True, seed: int = 0) -> str:
     """Sec. 5 claim: LPD with 3-4 pointers ~ full-bit directory."""
-    from repro.core.api import run_benchmark
     config = _quick_chip(quick)
+    benchmarks = ("barnes", "lu") if quick else QUICK_BENCHMARKS
+    grid = run_grid(benchmarks, ("lpd", "fullbit"), config=config,
+                    seed=seed, **QUICK)
     rows = []
-    for name in ("barnes", "lu") if quick else QUICK_BENCHMARKS:
-        runtimes = {}
-        for protocol in ("lpd", "fullbit"):
-            result = run_benchmark(name, protocol=protocol, config=config,
-                                   seed=seed, **QUICK)
-            runtimes[protocol] = result.runtime
+    for name in benchmarks:
+        runtimes = {protocol: grid[name][protocol].runtime
+                    for protocol in ("lpd", "fullbit")}
         rows.append([name, str(runtimes["lpd"]), str(runtimes["fullbit"]),
                      f"{runtimes['fullbit'] / runtimes['lpd']:.3f}"])
     return _table(["benchmark", "LPD(4 ptr)", "full-bit", "ratio"], rows,

@@ -28,12 +28,20 @@ DEFAULT_FIGURES = ("table1", "table2", "fig9")
 def build_report(directory: Union[str, Path],
                  figures: Optional[Sequence[str]] = None,
                  quick: bool = True,
-                 seed: int = 0) -> Dict[str, Path]:
+                 seed: int = 0,
+                 jobs: Optional[int] = None,
+                 cache_dir: Union[None, str, Path] = None) -> Dict[str, Path]:
     """Render *figures* (ids from :func:`figure_ids`) into *directory*.
 
     Returns {figure id -> artifact path}.  Unknown ids raise before any
     work happens, so a typo cannot waste a long render.
+
+    ``jobs`` fans each figure's simulation grid out across worker
+    processes and ``cache_dir`` recalls previously computed runs (see
+    :mod:`repro.experiments`); both default to the process execution
+    context (``REPRO_JOBS``/``REPRO_CACHE_DIR``).
     """
+    from repro.experiments import executing
     requested: List[str] = list(figures) if figures is not None \
         else list(DEFAULT_FIGURES)
     known = set(figure_ids())
@@ -46,13 +54,14 @@ def build_report(directory: Union[str, Path],
 
     artifacts: Dict[str, Path] = {}
     timings: Dict[str, float] = {}
-    for fig_id in requested:
-        started = time.perf_counter()
-        text = generate(fig_id, quick=quick, seed=seed)
-        timings[fig_id] = time.perf_counter() - started
-        path = directory / f"{fig_id}.txt"
-        path.write_text(text, encoding="utf-8")
-        artifacts[fig_id] = path
+    with executing(jobs=jobs, cache=cache_dir):
+        for fig_id in requested:
+            started = time.perf_counter()
+            text = generate(fig_id, quick=quick, seed=seed)
+            timings[fig_id] = time.perf_counter() - started
+            path = directory / f"{fig_id}.txt"
+            path.write_text(text, encoding="utf-8")
+            artifacts[fig_id] = path
 
     index = directory / "index.md"
     lines = ["# SCORPIO reproduction report", "",

@@ -5,11 +5,19 @@ Commands:
 * ``run`` — one benchmark under one protocol, printing the run summary.
 * ``compare`` — the same benchmark under several protocols, printing
   runtimes normalized to LPD-D (the Figure 6a view).
+* ``sweep`` — a (benchmark × protocol × seed) matrix through the
+  experiment orchestrator: ``--jobs N`` fans runs out across processes,
+  ``--cache-dir`` recalls previously computed points.
 * ``figure`` — regenerate a paper table/figure (see ``--list``).
 * ``report`` — render a set of figures into a results directory.
 * ``trace`` — run an external trace file (the Graphite-traces flow).
 * ``features`` — print the Table 1 chip feature summary.
 * ``litmus`` — run the sequential-consistency litmus suite.
+
+``sweep``, ``figure`` and ``report`` honour ``REPRO_JOBS`` and
+``REPRO_CACHE_DIR`` as defaults for ``--jobs``/``--cache-dir``;
+``compare`` (routed through the same sweep runner) honours the
+environment variables too.
 """
 
 from __future__ import annotations
@@ -52,8 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "snoopy coherence simulator")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_run_options(p):
-        p.add_argument("--protocol", choices=PROTOCOLS, default="scorpio")
+    def add_regime_options(p):
         p.add_argument("--mesh", type=_mesh, default=(6, 6),
                        help="mesh dimensions, e.g. 6x6 (default)")
         p.add_argument("--ops", type=int, default=100,
@@ -62,18 +69,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload footprint scale")
         p.add_argument("--think-scale", type=float, default=20.0,
                        help="think-time stretch factor")
-        p.add_argument("--seed", type=int, default=0)
         p.add_argument("--max-cycles", type=int, default=400_000)
+
+    def add_run_options(p):
+        p.add_argument("--protocol", choices=PROTOCOLS, default="scorpio")
+        p.add_argument("--seed", type=int, default=0)
+        add_regime_options(p)
 
     run_p = sub.add_parser("run", help="run one benchmark")
     run_p.add_argument("benchmark")
     add_run_options(run_p)
+
+    def add_executor_options(p):
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+        p.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: "
+                            "REPRO_CACHE_DIR or caching off)")
 
     cmp_p = sub.add_parser("compare", help="compare protocols")
     cmp_p.add_argument("benchmark")
     cmp_p.add_argument("--protocols", nargs="+", choices=PROTOCOLS,
                        default=["lpd", "ht", "scorpio"])
     add_run_options(cmp_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a benchmark x protocol x seed matrix "
+                      "(parallel, cached)")
+    sweep_p.add_argument("benchmarks", nargs="+")
+    sweep_p.add_argument("--protocols", nargs="+", choices=PROTOCOLS,
+                         default=["lpd", "ht", "scorpio"])
+    sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    add_regime_options(sweep_p)
+    add_executor_options(sweep_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("id", nargs="?", help="figure id (e.g. fig6a)")
@@ -82,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--full", action="store_true",
                        help="full 36-core regime (slow) instead of quick")
     fig_p.add_argument("--seed", type=int, default=0)
+    add_executor_options(fig_p)
 
     trace_p = sub.add_parser("trace", help="run a trace file")
     trace_p.add_argument("path")
@@ -97,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="figure ids (default: the static set)")
     report_p.add_argument("--full", action="store_true")
     report_p.add_argument("--seed", type=int, default=0)
+    add_executor_options(report_p)
 
     sub.add_parser("features", help="print Table 1 chip features")
 
@@ -138,7 +168,7 @@ def cmd_compare(args, out) -> int:
                                 config=_chip(args), ops_per_core=args.ops,
                                 workload_scale=args.scale,
                                 think_scale=args.think_scale,
-                                seed=args.seed)
+                                seed=args.seed, max_cycles=args.max_cycles)
     baseline = "lpd" if "lpd" in results else args.protocols[0]
     norm = normalized_runtimes(results, baseline=baseline)
     print(f"{args.benchmark}: runtime normalized to {baseline.upper()}",
@@ -150,15 +180,49 @@ def cmd_compare(args, out) -> int:
     return 0
 
 
+def cmd_sweep(args, out) -> int:
+    from repro.experiments import Sweep, as_cache, get_context, run_sweep
+    width, height = args.mesh
+    sweep = Sweep(benchmarks=list(args.benchmarks),
+                  protocols=tuple(args.protocols),
+                  configs=_chip(args), seeds=tuple(args.seeds),
+                  ops_per_core=args.ops, workload_scale=args.scale,
+                  think_scale=args.think_scale, max_cycles=args.max_cycles)
+    cache = as_cache(args.cache_dir) if args.cache_dir \
+        else get_context().cache
+    results = run_sweep(sweep, jobs=args.jobs, cache=cache)
+    print(f"{len(results)} runs ({width}x{height} mesh, "
+          f"{len(args.benchmarks)} benchmarks x "
+          f"{len(args.protocols)} protocols x {len(args.seeds)} seeds)",
+          file=out)
+    header = f"{'benchmark':<16}{'protocol':<10}{'seed':>5}" \
+             f"{'runtime':>10}  {'progress':>8}  source"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    incomplete = 0
+    for res in results:
+        if res.progress < 1.0:
+            incomplete += 1
+        print(f"{res.benchmark:<16}{res.protocol:<10}{res.seed:>5}"
+              f"{res.runtime:>10}  {res.progress:>8.1%}  "
+              f"{'cache' if res.cached else 'run'}", file=out)
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.directory})", file=out)
+    return 0 if incomplete == 0 else 1
+
+
 def cmd_figure(args, out) -> int:
     from repro.analysis.figures import figure_ids, generate
+    from repro.experiments import executing
     if args.list or not args.id:
         print("available figures:", file=out)
         for fig_id in figure_ids():
             print(f"  {fig_id}", file=out)
         return 0
     try:
-        text = generate(args.id, quick=not args.full, seed=args.seed)
+        with executing(jobs=args.jobs, cache=args.cache_dir):
+            text = generate(args.id, quick=not args.full, seed=args.seed)
     except KeyError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -180,7 +244,8 @@ def cmd_report(args, out) -> int:
     from repro.analysis.report import build_report
     try:
         artifacts = build_report(args.directory, figures=args.figures,
-                                 quick=not args.full, seed=args.seed)
+                                 quick=not args.full, seed=args.seed,
+                                 jobs=args.jobs, cache_dir=args.cache_dir)
     except KeyError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -213,6 +278,7 @@ def cmd_litmus(args, out) -> int:
 COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
+    "sweep": cmd_sweep,
     "figure": cmd_figure,
     "report": cmd_report,
     "trace": cmd_trace,

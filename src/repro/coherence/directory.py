@@ -135,8 +135,6 @@ class DirectoryController(Clocked):
             req, recv_cycle, arrival_cycle = self._queue.popleft()
             self._access(req, cycle, arrival_cycle)
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     # ------------------------------------------------------------------
 

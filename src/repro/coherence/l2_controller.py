@@ -265,8 +265,6 @@ class L2Controller(Clocked):
                 self.nic.send_request(mshr.req)
                 self.stats.incr("l2.retries")
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def _drain_ordered(self, cycle: int) -> None:
         # Region-filtered snoops are free; others consume the L2 slot.

@@ -147,13 +147,22 @@ def compare_protocols(benchmark: str,
                       ops_per_core: int = 150,
                       workload_scale: float = 1.0,
                       think_scale: float = 1.0,
-                      seed: int = 0) -> Dict[str, RunResult]:
-    """Run the same workload under several protocols (Fig. 6a rows)."""
-    return {protocol: run_benchmark(benchmark, protocol, config,
-                                    ops_per_core=ops_per_core,
-                                    workload_scale=workload_scale,
-                                    think_scale=think_scale, seed=seed)
-            for protocol in protocols}
+                      seed: int = 0,
+                      max_cycles: int = 400_000) -> Dict[str, RunResult]:
+    """Run the same workload under several protocols (Fig. 6a rows).
+
+    Routed through the sweep runner (:mod:`repro.experiments`), so it
+    honours the process execution context: with ``REPRO_JOBS``/
+    ``REPRO_CACHE_DIR`` set (or :func:`repro.experiments.configure`
+    called), the per-protocol runs fan out across workers and recall
+    cached results.  Defaults reproduce the historical serial behaviour.
+    """
+    from repro.experiments.sweep import sweep_compare
+    return sweep_compare(benchmark, tuple(protocols), config=config,
+                         ops_per_core=ops_per_core,
+                         workload_scale=workload_scale,
+                         think_scale=think_scale, seed=seed,
+                         max_cycles=max_cycles)
 
 
 def normalized_runtimes(results: Dict[str, RunResult],

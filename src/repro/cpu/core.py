@@ -86,8 +86,6 @@ class TraceCore(Clocked):
                       if self._pc < len(self.trace) else 0)
         self._next_issue_cycle = cycle + max(1, next_think)
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def _issue(self, op: TraceOp, cycle: int) -> bool:
         if self.l1 is not None:

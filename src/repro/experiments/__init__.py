@@ -1,0 +1,29 @@
+"""Experiment orchestration: sweep expansion, parallel fan-out, result cache.
+
+The substrate the figure harnesses, the benchmark suite, and the
+``repro sweep`` CLI all run on.  Typical use::
+
+    from repro.experiments import Sweep, run_sweep
+
+    sweep = Sweep(benchmarks=("barnes", "lu"),
+                  protocols=("lpd", "ht", "scorpio"),
+                  seeds=(0, 1, 2), ops_per_core=100)
+    results = run_sweep(sweep, jobs=8, cache="~/.cache/repro")
+
+See EXPERIMENTS.md for how sweeps relate to the paper's evaluation
+regime, and ``repro sweep --help`` for the CLI front-end.
+"""
+
+from repro.experiments.cache import ResultCache, as_cache, code_version
+from repro.experiments.context import (ExecutionContext, configure,
+                                       executing, get_context)
+from repro.experiments.spec import RunSpec, config_to_dict, profile_to_dict
+from repro.experiments.sweep import (Sweep, SweepResult, execute_spec,
+                                     run_grid, run_sweep, sweep_compare)
+
+__all__ = [
+    "ExecutionContext", "ResultCache", "RunSpec", "Sweep",
+    "SweepResult", "as_cache", "code_version", "configure",
+    "config_to_dict", "executing", "execute_spec", "get_context",
+    "profile_to_dict", "run_grid", "run_sweep", "sweep_compare",
+]

@@ -1,0 +1,120 @@
+"""On-disk result cache for experiment runs.
+
+Results live one JSON file per fingerprint under a two-level fan-out
+(``<dir>/ab/abcdef....json``) so warm directories stay listable.  The
+fingerprint already encodes the :func:`code_version` of the simulator
+source, so editing any file under ``src/repro`` naturally invalidates
+every cached result — no manual cache busting required.
+
+Writes are atomic (temp file + ``os.replace``), which makes the cache
+safe to share between the parallel sweep workers and between concurrent
+pytest/CLI invocations pointed at the same directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Memoized per process: the sweep layer calls this once per fingerprint.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+class ResultCache:
+    """Content-addressed store of run payloads (JSON dicts)."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        # expanduser: "~/..." arrives unexpanded from .env files, CI
+        # yaml, or REPRO_CACHE_DIR set without shell interpolation, and
+        # would otherwise create a literal "./~" directory.
+        self.directory = Path(directory).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for *fingerprint*, or None on a miss.
+
+        A corrupt or truncated file (e.g. an interrupted legacy writer)
+        counts as a miss; the next :meth:`put` repairs it.
+        """
+        path = self._path(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> int:
+        """Number of results currently stored on disk.
+
+        Deliberately not ``__len__``: that would make an *empty* cache
+        falsy, and ``if cache`` guards are how callers test for an
+        *absent* cache.
+        """
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": self.entries()}
+
+
+def as_cache(cache: Union[None, bool, str, Path, ResultCache]
+             ) -> Optional[ResultCache]:
+    """Coerce a user-facing cache argument into a :class:`ResultCache`.
+
+    ``None``/``False`` disable caching; a string/path becomes a cache
+    rooted there; an existing :class:`ResultCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        raise ValueError("cache=True is ambiguous: pass a directory path "
+                         "or a ResultCache (or set REPRO_CACHE_DIR)")
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

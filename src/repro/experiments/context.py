@@ -1,0 +1,83 @@
+"""Process-wide execution defaults for the experiment layer.
+
+Every entry point that fans work out — :func:`repro.experiments.run_sweep`,
+``repro figure``, ``repro report``, the benchmark harness — resolves its
+``jobs``/``cache`` arguments against this context when the caller does
+not pass them explicitly.  The context itself is seeded from the
+environment, so both knobs work uniformly across the CLI and pytest:
+
+* ``REPRO_JOBS``       — worker processes for sweeps (default 1: serial).
+* ``REPRO_CACHE_DIR``  — result-cache directory (default: caching off).
+
+``repro sweep --jobs 8 --cache-dir ~/.cache/repro`` and
+``REPRO_CACHE_DIR=~/.cache/repro pytest benchmarks`` therefore share one
+cache and one configuration surface.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.cache import ResultCache, as_cache
+
+
+@dataclass
+class ExecutionContext:
+    """Default parallelism and caching for experiment runs."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+
+    @classmethod
+    def from_environment(cls) -> "ExecutionContext":
+        raw = os.environ.get("REPRO_JOBS", "1") or "1"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}") from None
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        return cls(jobs=max(1, jobs), cache=as_cache(cache_dir))
+
+
+_context: Optional[ExecutionContext] = None
+
+
+def get_context() -> ExecutionContext:
+    """The active context (created from the environment on first use)."""
+    global _context
+    if _context is None:
+        _context = ExecutionContext.from_environment()
+    return _context
+
+
+def configure(jobs: Optional[int] = None, cache=None) -> ExecutionContext:
+    """Override the process-wide defaults (CLI flags land here).
+
+    Arguments left as ``None`` keep their current value; pass
+    ``cache=False`` to switch caching off explicitly.
+    """
+    ctx = get_context()
+    if jobs is not None:
+        ctx.jobs = max(1, jobs)
+    if cache is not None:
+        ctx.cache = as_cache(cache)
+    return ctx
+
+
+@contextmanager
+def executing(jobs: Optional[int] = None, cache=None):
+    """Temporarily override the context (used by ``build_report`` so a
+    one-shot ``jobs=`` argument does not leak into the process)."""
+    global _context
+    saved = get_context()
+    _context = ExecutionContext(
+        jobs=saved.jobs if jobs is None else max(1, jobs),
+        cache=saved.cache if cache is None else as_cache(cache))
+    try:
+        yield _context
+    finally:
+        _context = saved

@@ -1,0 +1,101 @@
+"""Run specifications and content-addressed fingerprints.
+
+A :class:`RunSpec` is the unit of work of the experiment layer: one
+benchmark under one protocol on one chip configuration with one seed.
+Its :meth:`~RunSpec.fingerprint` is a content hash of everything that
+determines the simulation's outcome — the fully expanded
+:class:`~repro.core.config.ChipConfig`, the resolved workload profile,
+the run knobs, and the version of the simulator source — so it can key
+an on-disk result cache: two specs with the same fingerprint are
+guaranteed (modulo hash collisions) to produce identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.core.config import ChipConfig
+from repro.workloads.synthetic import WorkloadProfile
+
+# Bump when the meaning of a cached payload changes (new fields, changed
+# stat semantics) without a source-level change that code_version() sees.
+SPEC_SCHEMA = 1
+
+
+def config_to_dict(config: ChipConfig) -> Dict[str, Any]:
+    """Canonical, JSON-able form of a :class:`ChipConfig` (recursively
+    expands the nested subsystem dataclasses)."""
+    return asdict(config)
+
+
+def profile_to_dict(profile: WorkloadProfile) -> Dict[str, Any]:
+    return asdict(profile)
+
+
+@dataclass
+class RunSpec:
+    """One (protocol, config, workload, seed) simulation point."""
+
+    benchmark: Union[str, WorkloadProfile]
+    protocol: str = "scorpio"
+    config: Optional[ChipConfig] = None
+    ops_per_core: int = 150
+    workload_scale: float = 1.0
+    think_scale: float = 1.0
+    seed: int = 0
+    max_cycles: int = 400_000
+    # Free-form display label (e.g. the sweep axis value); not part of
+    # the fingerprint because it does not affect the simulation.
+    label: str = ""
+
+    def resolved_config(self) -> ChipConfig:
+        return self.config if self.config is not None \
+            else ChipConfig.chip_36core()
+
+    def resolved_profile(self) -> WorkloadProfile:
+        if isinstance(self.benchmark, WorkloadProfile):
+            return self.benchmark
+        from repro.workloads.suites import profile as lookup_profile
+        return lookup_profile(self.benchmark)
+
+    @property
+    def benchmark_name(self) -> str:
+        if isinstance(self.benchmark, WorkloadProfile):
+            return self.benchmark.name
+        return self.benchmark
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+
+    def key(self) -> Dict[str, Any]:
+        """The canonical dict the fingerprint hashes.
+
+        The workload is stored as the *resolved* profile, so editing a
+        suite profile in :mod:`repro.workloads.suites` invalidates cached
+        results for that benchmark even though the spec names it by
+        string.
+        """
+        return {
+            "schema": SPEC_SCHEMA,
+            "protocol": self.protocol,
+            "workload": profile_to_dict(self.resolved_profile()),
+            "config": config_to_dict(self.resolved_config()),
+            "ops_per_core": self.ops_per_core,
+            "workload_scale": self.workload_scale,
+            "think_scale": self.think_scale,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+
+    def fingerprint(self, code_version: Optional[str] = None) -> str:
+        """SHA-256 over the canonical key plus the simulator version."""
+        if code_version is None:
+            from repro.experiments.cache import code_version as cv
+            code_version = cv()
+        blob = json.dumps({"code": code_version, "spec": self.key()},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

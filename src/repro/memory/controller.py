@@ -230,8 +230,6 @@ class MemoryController(Clocked):
             for _c, fn in due:
                 fn()
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def idle(self) -> bool:
         return not self._delayed and not self.wb_pending and not self.waiting

@@ -245,8 +245,6 @@ class NetworkInterface(Clocked):
         self._deliver_responses(cycle)
         self._inject(cycle)
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def _apply_credit_returns(self, cycle: int) -> None:
         if not self._credit_returns:
@@ -367,8 +365,7 @@ class NetworkInterface(Clocked):
             self.stats.incr("nic.packets_injected")
 
     def _free_inject_vc(self, vnet: VNet) -> Optional[int]:
-        free = self._inject_credits.free_normal_vcs(vnet)
-        return free[0] if free else None
+        return self._inject_credits.first_free_normal_vc(vnet)
 
     # ------------------------------------------------------------------
     # Introspection

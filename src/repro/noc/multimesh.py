@@ -136,10 +136,9 @@ class MultiMeshInterface(NetworkInterface):
             sid_tracker = self._mesh_sid_trackers[mesh]
             if vnet == VNet.GO_REQ and sid_tracker.blocks(packet.sid):
                 continue
-            free = credits.free_normal_vcs(vnet)
-            if not free:
+            vc = credits.first_free_normal_vc(vnet)
+            if vc is None:
                 continue
-            vc = free[0]
             queue.popleft()
             packet.inject_cycle = cycle
             if hasattr(packet.payload, "stamp"):

@@ -48,6 +48,10 @@ ROUTER_TO_ROUTER_DELAY = 2    # ST cycle -> processed at neighbour
 LOOKAHEAD_DELAY = 1           # emission -> processed at neighbour
 EJECT_DELAY = 1               # ST cycle -> packet visible at the NIC
 
+# All five router ports, built once: the per-cycle loops below run
+# hundreds of thousands of times per simulation.
+PORTS = (*DIRECTIONS, LOCAL)
+
 
 @dataclass
 class Lookahead:
@@ -83,10 +87,16 @@ class Router(Clocked):
         self._uoresp_depth = uoresp_depth
 
         self.inports: Dict[int, InputPort] = {}
-        for port in (*DIRECTIONS, LOCAL):
+        for port in PORTS:
             self.inports[port] = InputPort(
                 config.goreq_vcs, config.goreq_vc_depth,
                 config.uoresp_vcs, uoresp_depth, config.reserved_vc)
+        # The VC population of a port never changes after construction;
+        # snapshot the non-reserved buffers SA-I arbitrates over.
+        self._normal_vcs = {
+            port: [vc for vc in self.inports[port].all_buffers()
+                   if not vc.reserved]
+            for port in PORTS}
 
         # Downstream objects: port -> (endpoint, endpoint node id).  The
         # endpoint must offer deliver_packet / deliver_lookahead /
@@ -97,7 +107,7 @@ class Router(Clocked):
         self.port_free_at: Dict[int, int] = {}
 
         self._sa_i = {port: RotatingPriorityArbiter(
-            self._vc_slots()) for port in (*DIRECTIONS, LOCAL)}
+            self._vc_slots()) for port in PORTS}
         self._sa_o: Dict[int, RotatingPriorityArbiter] = {}
         self._la_arb: Dict[int, RotatingPriorityArbiter] = {}
 
@@ -106,8 +116,7 @@ class Router(Clocked):
         self._credit_returns: List[Tuple[int, int, VNet, int, int]] = []
         self._bypass_grants: Dict[int, _BypassGrant] = {}
         self._n_buffered = 0
-        self._port_buffered: Dict[int, int] = {
-            port: 0 for port in (*DIRECTIONS, LOCAL)}
+        self._port_buffered: Dict[int, int] = {port: 0 for port in PORTS}
         # Optional INCF broadcast filter (repro.noc.filtering); installed
         # by Mesh.set_broadcast_filter on unordered-broadcast systems.
         self.broadcast_filter = None
@@ -163,18 +172,18 @@ class Router(Clocked):
         if self._n_buffered:
             self._arbitrate_buffered(cycle)
 
-    def commit(self, cycle: int) -> None:  # state advances in-place
-        pass
 
     # -- credits --------------------------------------------------------
 
     def _apply_credit_returns(self, cycle: int) -> None:
         if not self._credit_returns:
             return
-        due = [entry for entry in self._credit_returns if entry[0] <= cycle]
+        due, later = [], []
+        for entry in self._credit_returns:
+            (due if entry[0] <= cycle else later).append(entry)
         if not due:
             return
-        self._credit_returns = [e for e in self._credit_returns if e[0] > cycle]
+        self._credit_returns = later
         for _cycle, outport, vnet, vc, flits in due:
             self.out_credits[outport].release(vnet, vc, flits)
             if vnet == VNet.GO_REQ and self.out_credits[outport].vc_free(vnet, vc):
@@ -185,10 +194,12 @@ class Router(Clocked):
     def _process_arrivals(self, cycle: int) -> None:
         if not self._arrivals:
             return
-        due = [a for a in self._arrivals if a[0] <= cycle]
+        due, later = [], []
+        for entry in self._arrivals:
+            (due if entry[0] <= cycle else later).append(entry)
         if not due:
             return
-        self._arrivals = [a for a in self._arrivals if a[0] > cycle]
+        self._arrivals = later
         for _cycle, packet, inport, vnet, vc_index in due:
             grant = self._bypass_grants.pop(packet.pid, None)
             if (grant is not None and grant.arrival_cycle == cycle
@@ -274,7 +285,7 @@ class Router(Clocked):
         if not self.config.reserved_vc:
             return
         rvc_index = self.config.reserved_vc_index()
-        for inport in (*DIRECTIONS, LOCAL):
+        for inport in PORTS:
             vc = self.inports[inport].vc(VNet.GO_REQ, rvc_index)
             if not vc.occupied or vc.ready_cycle > cycle:
                 continue
@@ -286,10 +297,14 @@ class Router(Clocked):
         if not self.config.lookahead_bypass:
             self._lookaheads = []
             return
-        due = [la for la in self._lookaheads if la[0] <= cycle]
+        if not self._lookaheads:
+            return
+        due, later = [], []
+        for entry in self._lookaheads:
+            (due if entry[0] <= cycle else later).append(entry)
         if not due:
             return
-        self._lookaheads = [la for la in self._lookaheads if la[0] > cycle]
+        self._lookaheads = later
         # Resolve conflicts between lookaheads per output port with
         # rotating priority over input ports; grants are all-or-nothing
         # per lookahead (a partially-granted bypass is a failed bypass).
@@ -365,21 +380,17 @@ class Router(Clocked):
     def _arbitrate_buffered(self, cycle: int) -> None:
         # SA-I: one candidate VC per input port.
         candidates: Dict[int, object] = {}
-        for inport in (*DIRECTIONS, LOCAL):
+        for inport in PORTS:
             if not self._port_buffered[inport]:
                 continue
-            port_vcs = [vc for vc in self.inports[inport].all_buffers()
-                        if not vc.reserved]
             lines = [False] * self._sa_i[inport].n
             eligible = {}
-            for slot, vc in enumerate(port_vcs):
+            for slot, vc in enumerate(self._normal_vcs[inport]):
                 if not vc.occupied or vc.ready_cycle > cycle:
                     continue
                 if self._requestable_outports(cycle, vc):
                     lines[slot] = True
                     eligible[slot] = vc
-            if len(lines) != self._sa_i[inport].n:
-                lines += [False] * (self._sa_i[inport].n - len(lines))
             winner = self._sa_i[inport].grant(lines)
             if winner is not None:
                 candidates[inport] = eligible[winner]
@@ -453,9 +464,9 @@ class Router(Clocked):
         """
         vnet = packet.vnet
         credits = self.out_credits[port]
-        free = credits.free_normal_vcs(vnet)
-        if free:
-            return free[0]
+        free = credits.first_free_normal_vc(vnet)
+        if free is not None:
+            return free
         if vnet == VNet.GO_REQ and self.config.reserved_vc:
             _endpoint, node = self.downstream[port]
             if credits.reserved_vc_free() \
@@ -490,12 +501,11 @@ class Router(Clocked):
 
     def occupancy(self) -> int:
         """Total packets currently buffered at this router."""
-        return sum(self.inports[p].occupied_buffers()
-                   for p in (*DIRECTIONS, LOCAL))
+        return sum(self.inports[p].occupied_buffers() for p in PORTS)
 
     def sid_invariant_holds(self) -> bool:
         """No two buffered GO-REQ packets at one input port share a SID."""
-        for port in (*DIRECTIONS, LOCAL):
+        for port in PORTS:
             sids = [vc.packet.sid
                     for vc in self.inports[port].vcs(VNet.GO_REQ)
                     if vc.occupied]

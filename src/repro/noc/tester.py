@@ -154,8 +154,6 @@ class NodeTester(Clocked):
         if self._backlog and self._try_inject(self._backlog[0], cycle):
             self._backlog.pop(0)
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def _make_packet(self) -> Packet:
         packet = Packet(vnet=self.traffic.vnet, src=self.node,
@@ -168,10 +166,9 @@ class NodeTester(Clocked):
         vnet = packet.vnet
         if vnet == VNet.GO_REQ and self._sid_tracker.blocks(packet.sid):
             return False
-        free = self._credits.free_normal_vcs(vnet)
-        if not free:
+        vc = self._credits.first_free_normal_vc(vnet)
+        if vc is None:
             return False
-        vc = free[0]
         self._credits.consume(vnet, vc, packet.size_flits)
         if vnet == VNet.GO_REQ:
             self._sid_tracker.record(vc, packet.sid)

@@ -146,13 +146,23 @@ class CreditTracker:
 
     def free_normal_vcs(self, vnet: VNet) -> List[int]:
         """Indices of free, non-reserved VCs of *vnet*."""
-        out = []
-        for idx in range(len(self._credits[vnet])):
-            if self.is_reserved(vnet, idx):
-                continue
-            if self.vc_free(vnet, idx):
-                out.append(idx)
-        return out
+        depth = self._depth[vnet]
+        reserved = self._reserved_index if vnet == VNet.GO_REQ else None
+        return [idx for idx, remaining in enumerate(self._credits[vnet])
+                if remaining == depth and idx != reserved]
+
+    def first_free_normal_vc(self, vnet: VNet) -> Optional[int]:
+        """Lowest-index free non-reserved VC of *vnet*, or None.
+
+        The VC-selection (VS) stage only needs the first candidate; this
+        avoids materializing the full free list on the router hot path.
+        """
+        depth = self._depth[vnet]
+        reserved = self._reserved_index if vnet == VNet.GO_REQ else None
+        for idx, remaining in enumerate(self._credits[vnet]):
+            if remaining == depth and idx != reserved:
+                return idx
+        return None
 
     def reserved_vc_free(self) -> bool:
         if self._reserved_index is None:

@@ -73,8 +73,6 @@ class LitmusCore(Clocked):
         if self.l2.core_request(op, var_addr(var), cycle, token=self._pc):
             self._waiting = True
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def _on_complete(self, token, cycle, version=0) -> None:
         op, var = self.thread[token]

@@ -82,8 +82,6 @@ class SystemMonitor(Clocked):
         self.check_occupancy_bounds(cycle)
         self.check_progress(cycle)
 
-    def commit(self, cycle: int) -> None:
-        pass
 
     def _fail(self, message: str) -> None:
         self.report.violations.append(message)

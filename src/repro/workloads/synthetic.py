@@ -17,6 +17,7 @@ dominate.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -72,7 +73,11 @@ def scaled(profile: WorkloadProfile, scale: float,
 def generate_trace(profile: WorkloadProfile, core: int, n_ops: int,
                    seed: int = 0) -> Trace:
     """Build one core's trace for *profile*, deterministic in (seed, core)."""
-    rng = random.Random((seed << 20) ^ (core * 2654435761) ^ hash(profile.name))
+    # zlib.crc32, not hash(): str hashing is salted per interpreter, which
+    # would make traces (and any cached result keyed on them) irreproducible
+    # across runs.
+    rng = random.Random((seed << 20) ^ (core * 2654435761)
+                        ^ zlib.crc32(profile.name.encode()))
     private_base = (core + 1) * PRIVATE_STRIDE
     hot_lines = max(1, int(profile.shared_lines * profile.hot_fraction))
     ops: List[TraceOp] = []

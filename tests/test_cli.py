@@ -13,6 +13,17 @@ def run_cli(*argv):
     return code, out.getvalue()
 
 
+@pytest.fixture(autouse=True)
+def isolated_execution_context(monkeypatch):
+    """Shield CLI tests from an exported REPRO_JOBS/REPRO_CACHE_DIR:
+    sweep/figure/report fall back to the process execution context, and
+    an ambient cache directory would change output (and be polluted)."""
+    import repro.experiments.context as context
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(context, "_context", context.ExecutionContext())
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -61,6 +72,37 @@ class TestCompareCommand:
         lpd_line = next(line for line in text.splitlines()
                         if line.strip().startswith("lpd"))
         assert "1.000" in lpd_line
+
+
+class TestSweepCommand:
+    ARGS = ("sweep", "fft", "--mesh", "3x3", "--ops", "10",
+            "--scale", "0.02", "--think-scale", "10",
+            "--protocols", "lpd", "scorpio", "--seeds", "0", "1")
+
+    def test_matrix_runs_and_reports(self):
+        code, text = run_cli(*self.ARGS)
+        assert code == 0
+        assert "4 runs" in text
+        # one row per (protocol, seed), all executed fresh
+        assert text.count("run") >= 4
+        assert "cache" not in text.splitlines()[-1]
+
+    def test_cache_round_trip(self, tmp_path):
+        cold_code, cold = run_cli(*self.ARGS, "--cache-dir", str(tmp_path),
+                                  "--jobs", "2")
+        warm_code, warm = run_cli(*self.ARGS, "--cache-dir", str(tmp_path))
+        assert cold_code == warm_code == 0
+        assert "4 misses" in cold.splitlines()[-1]
+        assert "4 hits" in warm.splitlines()[-1]
+
+        def rows(text):
+            return [line.split()[:4] for line in text.splitlines()
+                    if line.startswith("fft")]
+
+        # identical numbers, different source column
+        assert rows(cold) == rows(warm)
+        assert all("cache" in line for line in warm.splitlines()
+                   if line.startswith("fft"))
 
 
 class TestFigureCommand:
