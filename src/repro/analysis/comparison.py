@@ -1,14 +1,21 @@
-"""Table 2: comparison of contemporary multicore processors.
+"""Processor and system comparisons.
 
-Static data transcribed from the paper plus the SCORPIO row derived from
-this reproduction's configuration, so the harness can regenerate the
-table and tests can check the SCORPIO column against :data:`CHIP_FEATURES`.
+Two halves: the static Table 2 data (contemporary multicore processors,
+transcribed from the paper) and :func:`compare_systems`, the
+arbitrary-system generalization of
+:func:`repro.core.api.compare_protocols` — one declarative workload run
+across any set of registered system builders in a single (parallel,
+cached) sweep batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.core.config import ChipConfig
+    from repro.experiments.sweep import SweepResult
 
 
 @dataclass(frozen=True)
@@ -80,3 +87,27 @@ def as_rows(fields: List[str]) -> Dict[str, List[str]]:
     for field_name in fields:
         out[field_name] = [getattr(spec, field_name) for spec in TABLE2]
     return out
+
+
+def compare_systems(systems: Mapping[str, Tuple[str, Mapping[str, Any]]],
+                    workload: Mapping[str, Any],
+                    config: Optional["ChipConfig"] = None,
+                    max_cycles: int = 400_000,
+                    jobs: Optional[int] = None,
+                    cache=None) -> Dict[str, "SweepResult"]:
+    """Run one declarative *workload* under several registered system
+    builders (the "all conditions equal besides the system" methodology,
+    generalized beyond the four ``compare_protocols`` protocols).
+
+    *systems* maps a display label to ``(builder_name, params)``; the
+    whole comparison runs as one sweep batch, so ``jobs`` fans the
+    systems across workers and ``cache`` (or the ambient execution
+    context) answers repeats without simulating.  Returns
+    ``{label: SweepResult}`` in *systems* order.
+    """
+    from repro.experiments import SystemSpec, run_sweep
+    specs = [SystemSpec(builder=builder, config=config, params=dict(params),
+                        workload=dict(workload), max_cycles=max_cycles,
+                        label=label)
+             for label, (builder, params) in systems.items()]
+    return dict(zip(systems, run_sweep(specs, jobs=jobs, cache=cache)))

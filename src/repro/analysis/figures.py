@@ -136,36 +136,34 @@ def fig6c(quick: bool = True, seed: int = 0) -> str:
 
 def fig7(quick: bool = True, seed: int = 0) -> str:
     """SCORPIO vs TokenB vs INSO (expiry windows 20/40/80)."""
-    from repro.ordering_baselines.systems import InsoSystem, TokenBSystem
-    from repro.systems.scorpio import ScorpioSystem
-    from repro.workloads.suites import profile
-    from repro.workloads.synthetic import generate_system_traces, scaled
+    from repro.experiments import SystemSpec
 
     config = ChipConfig.variant(4, 4)
     benchmarks = ("blackscholes", "vips") if quick else (
         "blackscholes", "streamcluster", "swaptions", "vips")
-    ops = QUICK["ops_per_core"]
+    systems = (("scorpio", "scorpio", {}),
+               ("tokenb", "tokenb", {}),
+               ("inso20", "inso", {"expiration_window": 20}),
+               ("inso40", "inso", {"expiration_window": 40}),
+               ("inso80", "inso", {"expiration_window": 80}))
 
-    def traces(name):
-        prof = scaled(profile(name), QUICK["workload_scale"], 8.0)
-        return generate_system_traces(prof, 16, ops, seed=seed)
+    def workload(name):
+        return {"kind": "benchmark", "name": name,
+                "ops_per_core": QUICK["ops_per_core"],
+                "workload_scale": QUICK["workload_scale"],
+                "think_scale": 8.0, "seed": seed}
 
+    axes = [(name, key) for name in benchmarks for key, _, _ in systems]
+    specs = [SystemSpec(builder=builder, config=config, params=params,
+                        workload=workload(name), label=key)
+             for name in benchmarks for key, builder, params in systems]
+    runtimes = {axis: result.runtime
+                for axis, result in zip(axes, run_sweep(specs))}
     rows = []
     for name in benchmarks:
-        runtimes = {}
-        system = ScorpioSystem(traces=traces(name), noc=config.noc,
-                               notification=config.notification)
-        runtimes["scorpio"] = system.run_until_done(400_000)
-        system = TokenBSystem(traces=traces(name), noc=config.noc)
-        runtimes["tokenb"] = system.run_until_done(400_000)
-        for window in (20, 40, 80):
-            system = InsoSystem(traces=traces(name),
-                                expiration_window=window, noc=config.noc)
-            runtimes[f"inso{window}"] = system.run_until_done(400_000)
-        base = runtimes["scorpio"]
-        rows.append([name] + [f"{runtimes[k] / base:.3f}" for k in
-                              ("scorpio", "tokenb", "inso20", "inso40",
-                               "inso80")])
+        base = runtimes[(name, "scorpio")]
+        rows.append([name] + [f"{runtimes[(name, key)] / base:.3f}"
+                              for key, _, _ in systems])
     return _table(
         ["benchmark", "SCORPIO", "TokenB", "INSO-20", "INSO-40", "INSO-80"],
         rows, "Figure 7 - ordered-network baselines, 16 cores "
@@ -292,35 +290,30 @@ def fig10(quick: bool = True, seed: int = 0) -> str:
 
 def sec2(quick: bool = True, seed: int = 0) -> str:
     """Sec. 2 critiques quantified: TS buffers and the Uncorq ring."""
-    from repro.cpu.trace import Trace, TraceOp
-    from repro.ordering_baselines.systems import (TimestampSystem,
-                                                  UncorqSystem)
-    from repro.systems.scorpio import ScorpioSystem
-    from repro.workloads.suites import profile
-    from repro.workloads.synthetic import generate_system_traces, scaled
+    from repro.experiments import SystemSpec
 
     mesh = (4, 4) if quick else (6, 6)
     config = ChipConfig.variant(*mesh)
     n = config.n_cores
-    prof = scaled(profile("blackscholes"), QUICK["workload_scale"], 8.0)
-
-    def traces():
-        return generate_system_traces(prof, n, QUICK["ops_per_core"],
-                                      seed=seed)
-
-    scorpio = ScorpioSystem(traces=traces(), noc=config.noc,
-                            notification=config.notification)
-    base = scorpio.run_until_done(400_000)
-    ts = TimestampSystem(traces=traces(), noc=config.noc)
-    ts_runtime = ts.run_until_done(400_000)
-    rows = [["Timestamp Snooping", f"{ts_runtime / base:.3f}",
-             f"reorder peak {ts.reorder_buffer_peak()}/node"]]
-    write = [Trace([TraceOp("W", 0x4000_0000, 1)])] \
-        + [Trace([])] * (n - 1)
-    uncorq = UncorqSystem(traces=write, noc=config.noc)
-    lone_write = uncorq.run_until_done(400_000)
-    rows.append(["Uncorq", f"(lone write: {lone_write} cy)",
-                 f"ring circuit {uncorq.ring_traversal_latency()} cy"])
+    workload = {"kind": "benchmark", "name": "blackscholes",
+                "ops_per_core": QUICK["ops_per_core"],
+                "workload_scale": QUICK["workload_scale"],
+                "think_scale": 8.0, "seed": seed}
+    scorpio, ts, uncorq = run_sweep([
+        SystemSpec(builder="scorpio", config=config, workload=workload,
+                   label="scorpio"),
+        SystemSpec(builder="timestamp", config=config, workload=workload,
+                   label="ts"),
+        SystemSpec(builder="uncorq", config=config,
+                   workload={"kind": "lone_write"}, label="uncorq"),
+    ])
+    base = scorpio.runtime
+    rows = [["Timestamp Snooping", f"{ts.runtime / base:.3f}",
+             f"reorder peak "
+             f"{int(ts.stats['system.reorder_buffer_peak'])}/node"]]
+    rows.append(["Uncorq", f"(lone write: {uncorq.runtime} cy)",
+                 f"ring circuit "
+                 f"{int(uncorq.stats['system.ring_traversal_latency'])} cy"])
     return _table(["scheme", "runtime vs SCORPIO", "overhead"], rows,
                   f"Sec. 2 critiques measured ({n} cores; paper: 72 TS "
                   f"buffers/node at 36x2, ring wait linear in cores)")
@@ -328,29 +321,27 @@ def sec2(quick: bool = True, seed: int = 0) -> str:
 
 def incf(quick: bool = True, seed: int = 0) -> str:
     """Sec. 5.3 future work: in-network snoop filtering on HT."""
-    from repro.systems.directory import DirectorySystem
-    from repro.workloads.suites import profile
-    from repro.workloads.synthetic import generate_system_traces, scaled
+    from repro.experiments import SystemSpec
 
     config = _quick_chip(quick)
+    benchmarks = ("barnes", "lu") if quick else ("barnes", "lu",
+                                                 "blackscholes",
+                                                 "fluidanimate")
+    axes = [(name, enabled) for name in benchmarks
+            for enabled in (False, True)]
+    specs = [SystemSpec(builder="directory", config=config,
+                        params={"scheme": "HT", "incf": enabled},
+                        workload={"kind": "benchmark", "name": name,
+                                  "seed": seed, **QUICK},
+                        label=f"incf-{'on' if enabled else 'off'}")
+             for name, enabled in axes]
+    flits = {axis: int(result.stats.get("noc.flits.transmitted", 0))
+             for axis, result in zip(axes, run_sweep(specs))}
     rows = []
-    for name in ("barnes", "lu") if quick else ("barnes", "lu",
-                                                "blackscholes",
-                                                "fluidanimate"):
-        prof = scaled(profile(name), QUICK["workload_scale"],
-                      QUICK["think_scale"])
-        flits = {}
-        for enabled in (False, True):
-            traces = generate_system_traces(prof, config.n_cores,
-                                            QUICK["ops_per_core"],
-                                            seed=seed)
-            system = DirectorySystem(scheme="HT", traces=traces,
-                                     noc=config.noc, incf=enabled)
-            system.run_until_done(400_000)
-            flits[enabled] = system.stats.counter("noc.flits.transmitted")
-        saved = 1 - flits[True] / flits[False]
-        rows.append([name, str(flits[False]), str(flits[True]),
-                     f"{saved:.1%}"])
+    for name in benchmarks:
+        saved = 1 - flits[(name, True)] / flits[(name, False)]
+        rows.append([name, str(flits[(name, False)]),
+                     str(flits[(name, True)]), f"{saved:.1%}"])
     return _table(["benchmark", "flits off", "flits on", "saved"], rows,
                   "INCF in-network snoop filtering (HT broadcasts)")
 
@@ -374,26 +365,21 @@ def fullbit(quick: bool = True, seed: int = 0) -> str:
 
 def locks(quick: bool = True, seed: int = 0) -> str:
     """Lock handoff under contention across protocols."""
-    from repro.systems.directory import DirectorySystem
-    from repro.systems.scorpio import ScorpioSystem
-    from repro.workloads.locks import lock_contention_traces
+    from repro.analysis.comparison import compare_systems
 
     mesh = (3, 3) if quick else (6, 6)
     config = ChipConfig.variant(*mesh)
     n = config.n_cores
-    rows = []
-    for label, build in (
-            ("SCORPIO", lambda t: ScorpioSystem(traces=t, noc=config.noc)),
-            ("LPD-D", lambda t: DirectorySystem(scheme="LPD", traces=t,
-                                                noc=config.noc)),
-            ("HT-D", lambda t: DirectorySystem(scheme="HT", traces=t,
-                                               noc=config.noc))):
-        traces = lock_contention_traces(n, acquisitions_per_core=4,
-                                        seed=seed + 1)
-        system = build(traces)
-        runtime = system.run_until_done(400_000)
-        rows.append([label, str(runtime),
-                     f"{system.stats.mean('l2.miss_latency.cache'):.1f}"])
+    results = compare_systems(
+        {"SCORPIO": ("scorpio", {}),
+         "LPD-D": ("directory", {"scheme": "LPD"}),
+         "HT-D": ("directory", {"scheme": "HT"})},
+        workload={"kind": "locks", "acquisitions_per_core": 4,
+                  "seed": seed + 1},
+        config=config)
+    rows = [[label, str(result.runtime),
+             f"{result.stats.get('l2.miss_latency.cache.mean', 0.0):.1f}"]
+            for label, result in results.items()]
     return _table(["system", "runtime", "cache-served latency"], rows,
                   f"Lock handoff, {n} cores x 4 acquisitions (broadcast "
                   "avoids the per-handoff indirection)")

@@ -7,15 +7,17 @@ Commands:
   runtimes normalized to LPD-D (the Figure 6a view).
 * ``sweep`` — a (benchmark × protocol × seed) matrix through the
   experiment orchestrator: ``--jobs N`` fans runs out across processes,
-  ``--cache-dir`` recalls previously computed points.
+  ``--cache-dir`` recalls previously computed points;
+  ``--list-builders`` prints the registered system builders that
+  ``SystemSpec`` sweeps (and the figure harnesses) can target.
 * ``figure`` — regenerate a paper table/figure (see ``--list``).
 * ``report`` — render a set of figures into a results directory.
 * ``trace`` — run an external trace file (the Graphite-traces flow).
 * ``features`` — print the Table 1 chip feature summary.
 * ``litmus`` — run the sequential-consistency litmus suite.
 
-``sweep``, ``figure`` and ``report`` honour ``REPRO_JOBS`` and
-``REPRO_CACHE_DIR`` as defaults for ``--jobs``/``--cache-dir``;
+``sweep``, ``figure``, ``report`` and ``litmus`` honour ``REPRO_JOBS``
+and ``REPRO_CACHE_DIR`` as defaults for ``--jobs``/``--cache-dir``;
 ``compare`` (routed through the same sweep runner) honours the
 environment variables too.
 """
@@ -96,10 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser(
         "sweep", help="run a benchmark x protocol x seed matrix "
                       "(parallel, cached)")
-    sweep_p.add_argument("benchmarks", nargs="+")
+    sweep_p.add_argument("benchmarks", nargs="*")
     sweep_p.add_argument("--protocols", nargs="+", choices=PROTOCOLS,
                          default=["lpd", "ht", "scorpio"])
     sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    sweep_p.add_argument("--list-builders", action="store_true",
+                         help="list the registered system builders "
+                              "(SystemSpec targets) and exit")
     add_regime_options(sweep_p)
     add_executor_options(sweep_p)
 
@@ -133,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     litmus_p = sub.add_parser("litmus", help="run the SC litmus suite")
     litmus_p.add_argument("--protocol", choices=PROTOCOLS,
                           default="scorpio")
+    add_executor_options(litmus_p)
 
     return parser
 
@@ -182,6 +188,21 @@ def cmd_compare(args, out) -> int:
 
 def cmd_sweep(args, out) -> int:
     from repro.experiments import Sweep, as_cache, get_context, run_sweep
+    if args.list_builders:
+        from repro.experiments import list_builders
+        print("registered system builders:", file=out)
+        for name, description, defaults in list_builders():
+            print(f"  {name:<12} {description}", file=out)
+            if defaults:
+                rendered = ", ".join(f"{key}={value!r}"
+                                     for key, value in sorted(
+                                         defaults.items()))
+                print(f"  {'':<12} params: {rendered}", file=out)
+        return 0
+    if not args.benchmarks:
+        print("error: sweep needs at least one benchmark "
+              "(or --list-builders)", file=out)
+        return 2
     width, height = args.mesh
     sweep = Sweep(benchmarks=list(args.benchmarks),
                   protocols=tuple(args.protocols),
@@ -262,8 +283,12 @@ def cmd_features(args, out) -> int:
 
 
 def cmd_litmus(args, out) -> int:
+    from repro.experiments import as_cache, get_context
     from repro.verification.litmus import run_suite
-    results = run_suite(protocol=args.protocol)
+    cache = as_cache(args.cache_dir) if args.cache_dir \
+        else get_context().cache
+    results = run_suite(protocol=args.protocol, jobs=args.jobs,
+                        cache=cache)
     failures = 0
     for name, passed in sorted(results.items()):
         status = "ok" if passed else "FORBIDDEN OUTCOME OBSERVED"

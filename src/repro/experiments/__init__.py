@@ -14,6 +14,11 @@ See EXPERIMENTS.md for how sweeps relate to the paper's evaluation
 regime, and ``repro sweep --help`` for the CLI front-end.
 """
 
+from repro.experiments.builders import (SystemBuilder, SystemRunOutcome,
+                                        SystemSpec, builder_names,
+                                        execute_system_spec, get_builder,
+                                        list_builders, register_builder,
+                                        resolve_workload)
 from repro.experiments.cache import ResultCache, as_cache, code_version
 from repro.experiments.context import (ExecutionContext, configure,
                                        executing, get_context)
@@ -22,8 +27,10 @@ from repro.experiments.sweep import (Sweep, SweepResult, execute_spec,
                                      run_grid, run_sweep, sweep_compare)
 
 __all__ = [
-    "ExecutionContext", "ResultCache", "RunSpec", "Sweep",
-    "SweepResult", "as_cache", "code_version", "configure",
-    "config_to_dict", "executing", "execute_spec", "get_context",
-    "profile_to_dict", "run_grid", "run_sweep", "sweep_compare",
+    "ExecutionContext", "ResultCache", "RunSpec", "Sweep", "SweepResult",
+    "SystemBuilder", "SystemRunOutcome", "SystemSpec", "as_cache",
+    "builder_names", "code_version", "configure", "config_to_dict",
+    "executing", "execute_spec", "execute_system_spec", "get_builder",
+    "get_context", "list_builders", "profile_to_dict", "register_builder",
+    "resolve_workload", "run_grid", "run_sweep", "sweep_compare",
 ]

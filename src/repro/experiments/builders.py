@@ -1,0 +1,480 @@
+"""System-builder registry: declarative specs for arbitrary full systems.
+
+:class:`~repro.experiments.spec.RunSpec` covers exactly the
+``run_benchmark`` shape — one protocol out of the high-level API on one
+chip config.  Everything else the evaluation builds by hand (the Fig. 7
+ordered-network baselines, the Sec. 2 Timestamp/Uncorq critiques, INCF
+on/off ablations, lock-contention runs, litmus programs) used to
+construct systems imperatively and therefore ran serially and uncached.
+
+A :class:`SystemSpec` closes that gap: it *names* a registered builder
+plus JSON-able builder params and a declarative workload, so any system
+construction becomes a picklable, fingerprintable unit of work that
+:func:`repro.experiments.sweep.run_sweep` can fan out across processes
+and answer from the on-disk result cache.  The registry is introspectable
+(``repro sweep --list-builders``) and extensible: registering a builder
+is all it takes for a new system variant to be sweepable.
+
+Fingerprint contract: two SystemSpecs with equal fingerprints run the
+same builder with the same resolved params on the same expanded config
+against the same resolved workload — the same determinism guarantee
+RunSpec gives for benchmark runs (see tests/test_golden_stats.py for the
+regression lock on the underlying cycle-level behaviour).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.config import ChipConfig
+from repro.experiments.spec import SPEC_SCHEMA, config_to_dict, profile_to_dict
+
+# ---------------------------------------------------------------------------
+# Declarative workloads
+# ---------------------------------------------------------------------------
+
+class _Required:
+    """Sentinel default marking a parameter the caller must supply
+    (``None`` itself is a legitimate default, e.g. timestamp's slack)."""
+
+    def __repr__(self) -> str:   # pragma: no cover - repr only
+        return "<required>"
+
+
+REQUIRED = _Required()
+
+# kind -> {param: default}; a ``REQUIRED`` default must be supplied.
+WORKLOAD_KINDS: Dict[str, Dict[str, Any]] = {
+    # Synthetic benchmark traffic (the run_benchmark shape).
+    "benchmark": {"name": REQUIRED, "ops_per_core": 150,
+                  "workload_scale": 1.0, "think_scale": 1.0, "seed": 0},
+    # Lock handoff under contention (repro.workloads.locks).
+    "locks": {"acquisitions_per_core": 4, "critical_ops": 3,
+              "shared_lines": 4, "think": 5, "seed": 0},
+    # Sense-reversing barrier phases (repro.workloads.locks).
+    "barrier": {"phases": 3, "compute_ops": 5, "private_lines": 16,
+                "think": 4, "seed": 0},
+    # One store on one core, everyone else idle (the Sec. 2 Uncorq probe).
+    "lone_write": {"addr": 0x4000_0000, "node": 0},
+    # No trace-driven cores at all (litmus runs attach their own cores).
+    "idle": {},
+}
+
+
+def _merge_params(kind: str, given: Mapping[str, Any],
+                  defaults: Mapping[str, Any], what: str) -> Dict[str, Any]:
+    unknown = sorted(set(given) - set(defaults))
+    if unknown:
+        raise ValueError(f"unknown {what} parameter(s) {unknown} for "
+                         f"{kind!r}; known: {sorted(defaults)}")
+    merged = {**defaults, **given}
+    missing = sorted(name for name, value in merged.items()
+                     if isinstance(value, _Required))
+    if missing:
+        raise ValueError(f"{what} {kind!r} requires {missing}")
+    return merged
+
+
+@dataclass(frozen=True)
+class ResolvedWorkload:
+    """A workload dict resolved against a config: display name, the
+    canonical (fingerprintable) form, and a trace factory."""
+
+    name: str
+    key: Dict[str, Any]
+    build_traces: Callable[[int], list]
+
+
+def resolve_workload(workload: Mapping[str, Any],
+                     ) -> ResolvedWorkload:
+    """Resolve a declarative workload dict (``{"kind": ..., ...}``).
+
+    The canonical key embeds the *resolved* profile for benchmark
+    workloads, so editing a suite profile invalidates cached results —
+    the same rule :meth:`RunSpec.key` applies.
+    """
+    workload = dict(workload) if workload else {"kind": "idle"}
+    kind = workload.pop("kind", None)
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(f"unknown workload kind {kind!r}; known: "
+                         f"{sorted(WORKLOAD_KINDS)}")
+    params = _merge_params(kind, workload, WORKLOAD_KINDS[kind], "workload")
+
+    if kind == "benchmark":
+        from repro.workloads.suites import profile as lookup_profile
+        from repro.workloads.synthetic import generate_system_traces, scaled
+        prof = lookup_profile(params["name"])
+        if params["workload_scale"] != 1.0 or params["think_scale"] != 1.0:
+            prof = scaled(prof, params["workload_scale"],
+                          params["think_scale"])
+        key = {"kind": kind, "profile": profile_to_dict(prof),
+               "ops_per_core": params["ops_per_core"],
+               "seed": params["seed"]}
+        return ResolvedWorkload(
+            name=prof.name, key=key,
+            build_traces=lambda n: generate_system_traces(
+                prof, n, params["ops_per_core"], seed=params["seed"]))
+
+    if kind == "locks":
+        from repro.workloads.locks import lock_contention_traces
+        key = {"kind": kind, **params}
+        return ResolvedWorkload(
+            name="locks", key=key,
+            build_traces=lambda n: lock_contention_traces(
+                n, acquisitions_per_core=params["acquisitions_per_core"],
+                critical_ops=params["critical_ops"],
+                shared_lines=params["shared_lines"],
+                think=params["think"], seed=params["seed"]))
+
+    if kind == "barrier":
+        from repro.workloads.locks import barrier_traces
+        key = {"kind": kind, **params}
+        return ResolvedWorkload(
+            name="barrier", key=key,
+            build_traces=lambda n: barrier_traces(
+                n, phases=params["phases"],
+                compute_ops=params["compute_ops"],
+                private_lines=params["private_lines"],
+                think=params["think"], seed=params["seed"]))
+
+    if kind == "lone_write":
+        from repro.cpu.trace import Trace, TraceOp
+        key = {"kind": kind, **params}
+
+        def lone(n: int):
+            if not 0 <= params["node"] < n:
+                raise ValueError(f"lone_write node {params['node']} outside "
+                                 f"the {n}-core system")
+            return [Trace([TraceOp("W", params["addr"], 1)])
+                    if node == params["node"] else Trace([])
+                    for node in range(n)]
+
+        return ResolvedWorkload(name="lone-write", key=key,
+                                build_traces=lone)
+
+    # idle
+    from repro.cpu.trace import Trace
+    return ResolvedWorkload(name="idle", key={"kind": kind},
+                            build_traces=lambda n: [Trace([])
+                                                    for _ in range(n)])
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SystemRunOutcome:
+    """What a builder run produces (the JSON-able subset of a system)."""
+
+    runtime: int
+    completed_ops: int
+    progress: float
+    stats: Dict[str, float]
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SystemBuilder:
+    """One registered way to assemble (and run) a full system.
+
+    ``construct(config, params, traces)`` returns a system exposing the
+    :class:`~repro.systems.base.BaseSystem` run interface; ``metrics``
+    optionally harvests system-level numbers that live outside the stats
+    registry (reorder-buffer peaks, ring latencies) into the result's
+    stats under ``system.<name>`` keys.  Builders with a fundamentally
+    different run shape (litmus) override ``execute`` wholesale.
+    """
+
+    name: str
+    description: str
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    construct: Optional[Callable[..., Any]] = None
+    metrics: Optional[Callable[[Any], Dict[str, float]]] = None
+    execute: Optional[Callable[..., SystemRunOutcome]] = None
+
+    def resolved_params(self, given: Mapping[str, Any]) -> Dict[str, Any]:
+        return _merge_params(self.name, given, self.defaults, "builder")
+
+
+BUILDERS: Dict[str, SystemBuilder] = {}
+
+
+def register_builder(name: str, description: str,
+                     defaults: Optional[Mapping[str, Any]] = None,
+                     metrics: Optional[Callable] = None,
+                     execute: Optional[Callable] = None):
+    """Decorator registering ``fn`` as the constructor for *name*."""
+
+    def decorate(fn):
+        BUILDERS[name] = SystemBuilder(
+            name=name, description=description, defaults=dict(defaults or {}),
+            construct=None if execute else fn, metrics=metrics,
+            execute=execute)
+        return fn
+
+    return decorate
+
+
+def get_builder(name: str) -> SystemBuilder:
+    try:
+        return BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown system builder {name!r}; known: "
+                       f"{builder_names()}") from None
+
+
+def builder_names() -> List[str]:
+    return sorted(BUILDERS)
+
+
+def list_builders() -> List[Tuple[str, str, Dict[str, Any]]]:
+    """(name, description, param defaults) rows for CLI introspection."""
+    return [(name, BUILDERS[name].description, dict(BUILDERS[name].defaults))
+            for name in builder_names()]
+
+
+# ---------------------------------------------------------------------------
+# SystemSpec
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SystemSpec:
+    """One (builder, params, config, workload) simulation point.
+
+    The sweep-layer sibling of :class:`RunSpec` for systems outside the
+    ``run_benchmark`` shape; accepted anywhere ``run_sweep`` accepts
+    specs, with the same fingerprint/cache semantics.
+    """
+
+    builder: str
+    config: Optional[ChipConfig] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    workload: Dict[str, Any] = field(default_factory=dict)
+    max_cycles: int = 400_000
+    # Display bookkeeping, not part of the fingerprint.
+    label: str = ""
+
+    def resolved_config(self) -> ChipConfig:
+        return self.config if self.config is not None \
+            else ChipConfig.chip_36core()
+
+    @property
+    def benchmark_name(self) -> str:
+        """The workload display name carried into the result row.
+
+        An idle workload says nothing about the run, so it falls through
+        to the builder params' ``name`` (litmus specs report the program
+        name whether or not the idle workload is spelled explicitly).
+        """
+        if self.workload:
+            name = resolve_workload(self.workload).name
+            if name != "idle":
+                return name
+        if self.params.get("name") is not None:
+            return str(self.params["name"])
+        return self.builder
+
+    def seed_value(self) -> int:
+        for source in (self.workload, self.params):
+            if "seed" in source:
+                return int(source["seed"])
+        return 0
+
+    # ------------------------------------------------------------------
+    # Fingerprinting (same contract as RunSpec.key/fingerprint)
+    # ------------------------------------------------------------------
+
+    def key(self) -> Dict[str, Any]:
+        builder = get_builder(self.builder)
+        return {
+            "schema": SPEC_SCHEMA,
+            "kind": "system",
+            "builder": self.builder,
+            "params": builder.resolved_params(self.params),
+            "workload": resolve_workload(self.workload).key,
+            "config": config_to_dict(self.resolved_config()),
+            "max_cycles": self.max_cycles,
+        }
+
+    def fingerprint(self, code_version: Optional[str] = None) -> str:
+        if code_version is None:
+            from repro.experiments.cache import code_version as cv
+            code_version = cv()
+        blob = json.dumps({"code": code_version, "spec": self.key()},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_system_spec(spec: SystemSpec) -> SystemRunOutcome:
+    """Run one system spec in this process (the cache/pool-free core)."""
+    builder = get_builder(spec.builder)
+    config = spec.resolved_config()
+    params = builder.resolved_params(spec.params)
+    if builder.execute is not None:
+        return builder.execute(spec, config, params)
+    resolved = resolve_workload(spec.workload)
+    traces = resolved.build_traces(config.n_cores)
+    system = builder.construct(config, params, traces)
+    runtime = system.run_until_done(spec.max_cycles)
+    stats = system.stats.snapshot()
+    if builder.metrics is not None:
+        for name, value in builder.metrics(system).items():
+            stats[f"system.{name}"] = float(value)
+    return SystemRunOutcome(runtime=runtime,
+                            completed_ops=system.total_completed_ops(),
+                            progress=system.progress(),
+                            stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Registered builders
+# ---------------------------------------------------------------------------
+# System imports stay inside the constructors: the registry is imported
+# by the experiment layer's __init__, and most callers never build most
+# systems.
+
+@register_builder(
+    "scorpio",
+    "SCORPIO ordered-mesh snoopy MOSI (the paper's fabricated design)")
+def _build_scorpio(config: ChipConfig, params, traces):
+    from repro.systems.scorpio import ScorpioSystem
+    return ScorpioSystem(traces=traces, noc=config.noc,
+                         notification=config.notification,
+                         cache=config.cache, memory=config.memory,
+                         core=config.core, mc_nodes=config.mc_nodes,
+                         seed=config.seed)
+
+
+@register_builder(
+    "directory",
+    "distributed-directory baseline (LPD-D / HT-D / FULLBIT, "
+    "optional INCF)",
+    defaults={"scheme": "LPD", "incf": False, "incf_table_capacity": None})
+def _build_directory(config: ChipConfig, params, traces):
+    from repro.coherence.directory import DirectoryConfig
+    from repro.systems.directory import DirectorySystem
+    scheme = str(params["scheme"]).upper()
+    dir_config = DirectoryConfig(
+        scheme=scheme, n_nodes=config.noc.n_nodes,
+        total_cache_bytes=config.directory_cache_bytes,
+        line_size=config.noc.line_size_bytes)
+    return DirectorySystem(scheme=scheme, traces=traces, noc=config.noc,
+                           cache=config.cache, memory=config.memory,
+                           core=config.core, directory=dir_config,
+                           mc_nodes=config.mc_nodes, incf=params["incf"],
+                           incf_table_capacity=params["incf_table_capacity"],
+                           seed=config.seed)
+
+
+@register_builder(
+    "multimesh",
+    "SCORPIO with N replicated main meshes (Sec. 5.3 scaling proposal)",
+    defaults={"n_meshes": 2})
+def _build_multimesh(config: ChipConfig, params, traces):
+    from repro.systems.multimesh import MultiMeshScorpioSystem
+    return MultiMeshScorpioSystem(traces=traces,
+                                  n_meshes=params["n_meshes"],
+                                  noc=config.noc,
+                                  notification=config.notification,
+                                  cache=config.cache, memory=config.memory,
+                                  core=config.core,
+                                  mc_nodes=config.mc_nodes,
+                                  seed=config.seed)
+
+
+@register_builder(
+    "tokenb",
+    "TokenB-like unordered broadcast, races resolved by retry (Fig. 7)",
+    defaults={"retry_timeout": 400, "incf": False})
+def _build_tokenb(config: ChipConfig, params, traces):
+    from repro.ordering_baselines.systems import TokenBSystem
+    return TokenBSystem(traces=traces, noc=config.noc, cache=config.cache,
+                        memory=config.memory, core=config.core,
+                        mc_nodes=config.mc_nodes,
+                        retry_timeout=params["retry_timeout"],
+                        incf=params["incf"], seed=config.seed)
+
+
+@register_builder(
+    "inso",
+    "INSO snoopy coherence with pre-assigned expiring slots (Fig. 7)",
+    defaults={"expiration_window": 20})
+def _build_inso(config: ChipConfig, params, traces):
+    from repro.ordering_baselines.systems import InsoSystem
+    return InsoSystem(traces=traces,
+                      expiration_window=params["expiration_window"],
+                      noc=config.noc, cache=config.cache,
+                      memory=config.memory, core=config.core,
+                      mc_nodes=config.mc_nodes, seed=config.seed)
+
+
+def _timestamp_metrics(system) -> Dict[str, float]:
+    return {"reorder_buffer_peak": system.reorder_buffer_peak(),
+            "late_arrivals": system.late_arrivals()}
+
+
+@register_builder(
+    "timestamp",
+    "Timestamp Snooping with destination reorder buffers (Sec. 2)",
+    defaults={"slack": None}, metrics=_timestamp_metrics)
+def _build_timestamp(config: ChipConfig, params, traces):
+    from repro.ordering_baselines.systems import TimestampSystem
+    return TimestampSystem(traces=traces, slack=params["slack"],
+                           noc=config.noc, cache=config.cache,
+                           memory=config.memory, core=config.core,
+                           mc_nodes=config.mc_nodes, seed=config.seed)
+
+
+def _uncorq_metrics(system) -> Dict[str, float]:
+    return {"ring_traversal_latency": system.ring_traversal_latency()}
+
+
+@register_builder(
+    "uncorq",
+    "Uncorq: unordered snoops + response ring, writes wait a circuit "
+    "(Sec. 2)",
+    defaults={"ring_hop_latency": 2, "retry_timeout": 400},
+    metrics=_uncorq_metrics)
+def _build_uncorq(config: ChipConfig, params, traces):
+    from repro.ordering_baselines.systems import UncorqSystem
+    return UncorqSystem(traces=traces,
+                        ring_hop_latency=params["ring_hop_latency"],
+                        noc=config.noc, cache=config.cache,
+                        memory=config.memory, core=config.core,
+                        mc_nodes=config.mc_nodes,
+                        retry_timeout=params["retry_timeout"],
+                        seed=config.seed)
+
+
+def _execute_litmus(spec: SystemSpec, config: ChipConfig,
+                    params: Mapping[str, Any]) -> SystemRunOutcome:
+    from repro.verification.litmus import LitmusProgram, run_litmus_detailed
+    program = LitmusProgram(
+        name=params["name"],
+        threads=[[(op, var) for op, var in thread]
+                 for thread in params["threads"]])
+    observations, runtime = run_litmus_detailed(
+        program, width=config.noc.width, height=config.noc.height,
+        max_cycles=spec.max_cycles, seed=params["seed"],
+        protocol=params["protocol"])
+    return SystemRunOutcome(
+        runtime=runtime, completed_ops=len(observations), progress=1.0,
+        stats={},
+        extra={"observations": [[o.core, o.index, o.op, o.var, o.version]
+                                for o in observations]})
+
+
+# The dummy constructor is never called (execute overrides the run).
+@register_builder(
+    "litmus",
+    "memory-consistency litmus program on a live system (SC checker runs "
+    "on the collected observations)",
+    defaults={"name": REQUIRED, "threads": REQUIRED, "protocol": "scorpio",
+              "seed": 0},
+    execute=_execute_litmus)
+def _build_litmus(config, params, traces):   # pragma: no cover
+    raise RuntimeError("litmus runs through its execute override")

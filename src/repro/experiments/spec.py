@@ -8,6 +8,12 @@ determines the simulation's outcome — the fully expanded
 the run knobs, and the version of the simulator source — so it can key
 an on-disk result cache: two specs with the same fingerprint are
 guaranteed (modulo hash collisions) to produce identical results.
+
+Runs outside the ``run_benchmark`` shape (ordered-network baselines,
+INCF ablations, lock workloads, litmus programs) are described by the
+sibling :class:`~repro.experiments.builders.SystemSpec`, which names a
+registered system builder and fingerprints under the same contract;
+:func:`~repro.experiments.sweep.run_sweep` accepts both kinds mixed.
 """
 
 from __future__ import annotations

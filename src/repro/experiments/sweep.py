@@ -29,12 +29,16 @@ from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.api import RunResult, run_benchmark
 from repro.core.config import ChipConfig
+from repro.experiments.builders import (SystemRunOutcome, SystemSpec,
+                                        execute_system_spec)
 from repro.experiments.cache import ResultCache, as_cache, code_version
 from repro.experiments.context import get_context
 from repro.experiments.spec import RunSpec
 from repro.workloads.synthetic import WorkloadProfile
 
-PAYLOAD_SCHEMA = 1
+# 2: added the free-form "extra" dict (system-builder runs put litmus
+# observations and similar non-scalar outcomes there).
+PAYLOAD_SCHEMA = 2
 
 
 @dataclass
@@ -55,6 +59,9 @@ class SweepResult:
     completed_ops: int
     progress: float
     stats: Dict[str, float] = field(default_factory=dict)
+    # Free-form JSON-able outcome data beyond scalar stats (litmus
+    # observations, per-run artifacts); part of the cached payload.
+    extra: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
     cached: bool = False
 
@@ -77,6 +84,7 @@ class SweepResult:
             "completed_ops": self.completed_ops,
             "progress": self.progress,
             "stats": self.stats,
+            "extra": self.extra,
         }
 
     @classmethod
@@ -91,6 +99,7 @@ class SweepResult:
                    completed_ops=payload["completed_ops"],
                    progress=payload["progress"],
                    stats=dict(payload["stats"]),
+                   extra=dict(payload.get("extra", {})),
                    label=payload.get("label", ""),
                    cached=cached)
 
@@ -106,6 +115,23 @@ class SweepResult:
                    completed_ops=result.completed_ops,
                    progress=result.progress,
                    stats=dict(result.stats),
+                   label=spec.label)
+
+    @classmethod
+    def from_outcome(cls, spec: SystemSpec, fingerprint: str,
+                     outcome: SystemRunOutcome) -> "SweepResult":
+        """Adapt a system-builder run (``protocol`` carries the builder
+        name, ``benchmark`` the workload's display name)."""
+        return cls(fingerprint=fingerprint,
+                   benchmark=spec.benchmark_name,
+                   protocol=spec.builder,
+                   n_cores=spec.resolved_config().n_cores,
+                   seed=spec.seed_value(),
+                   runtime=outcome.runtime,
+                   completed_ops=outcome.completed_ops,
+                   progress=outcome.progress,
+                   stats=dict(outcome.stats),
+                   extra=dict(outcome.extra),
                    label=spec.label)
 
     def to_run_result(self) -> RunResult:
@@ -173,20 +199,27 @@ def execute_spec(spec: RunSpec) -> RunResult:
                          think_scale=spec.think_scale, seed=spec.seed)
 
 
-def _pool_worker(item: Tuple[RunSpec, str]) -> Dict[str, Any]:
+def _pool_worker(item: Tuple[Union[RunSpec, SystemSpec], str]
+                 ) -> Dict[str, Any]:
     """Top-level (hence picklable) pool target: spec -> payload dict."""
     spec, fingerprint = item
+    if isinstance(spec, SystemSpec):
+        outcome = execute_system_spec(spec)
+        return SweepResult.from_outcome(spec, fingerprint, outcome).payload()
     result = execute_spec(spec)
     return SweepResult.from_run(spec, fingerprint, result).payload()
 
 
-def run_sweep(sweep: Union[Sweep, Iterable[RunSpec]],
+def run_sweep(sweep: Union[Sweep, Iterable[Union[RunSpec, SystemSpec]]],
               jobs: Optional[int] = None,
               cache: Union[None, bool, str, ResultCache] = None,
               ) -> List[SweepResult]:
     """Execute a sweep (or any iterable of specs), in spec order.
 
-    ``jobs``/``cache`` default to the process execution context (see
+    Specs may freely mix :class:`RunSpec` (``run_benchmark``-shaped
+    points) and :class:`~repro.experiments.builders.SystemSpec`
+    (registered system-builder points) in one batch.  ``jobs``/``cache``
+    default to the process execution context (see
     :mod:`repro.experiments.context`); pass ``cache=False`` to bypass an
     active cache for one call.
     """
@@ -197,8 +230,8 @@ def run_sweep(sweep: Union[Sweep, Iterable[RunSpec]],
     resolved_cache = ctx.cache if cache is None else as_cache(cache)
 
     results: List[Optional[SweepResult]] = [None] * len(specs)
-    pending: List[Tuple[int, RunSpec, str]] = []
-    duplicates: List[Tuple[int, RunSpec, str]] = []
+    pending: List[Tuple[int, Union[RunSpec, SystemSpec], str]] = []
+    duplicates: List[Tuple[int, Union[RunSpec, SystemSpec], str]] = []
     if resolved_cache is None:
         # No cache: skip fingerprinting entirely — hashing the package
         # sources (code_version) and the expanded configs would be pure

@@ -6,15 +6,17 @@ from repro.verification.litmus import (ALL_LITMUS, COHERENCE_ORDER, IRIW,
                                        STORE_BUFFERING, LitmusCore,
                                        LitmusProgram, Observation,
                                        is_sequentially_consistent,
-                                       run_litmus, run_suite, var_addr)
+                                       litmus_spec, run_litmus,
+                                       run_litmus_detailed, run_suite,
+                                       var_addr)
 from repro.verification.monitor import (InvariantViolation, MonitorReport,
                                         SystemMonitor, attach_monitor)
 
 __all__ = [
     "ALL_LITMUS", "COHERENCE_ORDER", "IRIW", "LOAD_BUFFERING",
     "MESSAGE_PASSING", "STORE_BUFFERING", "LitmusCore", "LitmusProgram",
-    "Observation", "is_sequentially_consistent", "run_litmus",
-    "run_suite", "var_addr",
+    "Observation", "is_sequentially_consistent", "litmus_spec",
+    "run_litmus", "run_litmus_detailed", "run_suite", "var_addr",
     "InvariantViolation", "MonitorReport", "SystemMonitor",
     "attach_monitor",
 ]

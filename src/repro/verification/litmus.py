@@ -103,11 +103,12 @@ def _build_system(protocol: str, width: int, height: int, seed: int):
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
-def run_litmus(program: LitmusProgram, width: int = 3, height: int = 3,
-               max_cycles: int = 100_000,
-               seed: int = 0, protocol: str = "scorpio"
-               ) -> List[Observation]:
-    """Execute *program* on a live system; returns observations."""
+def run_litmus_detailed(program: LitmusProgram, width: int = 3,
+                        height: int = 3, max_cycles: int = 100_000,
+                        seed: int = 0, protocol: str = "scorpio"
+                        ) -> Tuple[List[Observation], int]:
+    """Execute *program* on a live system; returns (observations,
+    runtime in cycles) — the form the ``litmus`` system builder caches."""
     n_nodes = width * height
     if len(program.threads) > n_nodes:
         raise ValueError("more threads than nodes")
@@ -124,6 +125,17 @@ def run_litmus(program: LitmusProgram, width: int = 3, height: int = 3,
     observations: List[Observation] = []
     for core in cores:
         observations.extend(core.observations)
+    return observations, system.engine.cycle
+
+
+def run_litmus(program: LitmusProgram, width: int = 3, height: int = 3,
+               max_cycles: int = 100_000,
+               seed: int = 0, protocol: str = "scorpio"
+               ) -> List[Observation]:
+    """Execute *program* on a live system; returns observations."""
+    observations, _runtime = run_litmus_detailed(
+        program, width=width, height=height, max_cycles=max_cycles,
+        seed=seed, protocol=protocol)
     return observations
 
 
@@ -231,19 +243,55 @@ ALL_LITMUS = [MESSAGE_PASSING, STORE_BUFFERING, LOAD_BUFFERING,
               COHERENCE_ORDER, IRIW]
 
 
+def litmus_spec(program: LitmusProgram, protocol: str = "scorpio",
+                seed: int = 0, width: int = 3, height: int = 3,
+                max_cycles: int = 100_000):
+    """A sweepable :class:`~repro.experiments.builders.SystemSpec` for one
+    (program, protocol, seed) litmus execution."""
+    from repro.core.config import ChipConfig
+    from repro.experiments.builders import SystemSpec
+    return SystemSpec(
+        builder="litmus",
+        config=ChipConfig.variant(width, height),
+        params={"name": program.name,
+                "threads": [[list(op) for op in thread]
+                            for thread in program.threads],
+                "protocol": protocol, "seed": seed},
+        workload={"kind": "idle"},
+        max_cycles=max_cycles,
+        label=f"{program.name}/{protocol}/s{seed}")
+
+
 def run_suite(protocol: str = "scorpio", seeds: Sequence[int] = (0, 1, 2),
-              programs: Optional[Sequence[LitmusProgram]] = None
-              ) -> Dict[str, bool]:
+              programs: Optional[Sequence[LitmusProgram]] = None,
+              jobs: Optional[int] = None,
+              cache=None) -> Dict[str, bool]:
     """Run every litmus program a few times under *protocol*; a test
-    passes iff every execution's outcome is SC-admissible."""
+    passes iff every execution's outcome is SC-admissible.
+
+    The (program x seed) batch goes through the experiment orchestrator:
+    ``jobs`` fans executions across worker processes, ``cache`` recalls
+    previously observed executions, and both default to the process
+    execution context (``REPRO_JOBS``/``REPRO_CACHE_DIR``).  Cached
+    payloads store the raw observations, never verdicts: the SC checker
+    always re-runs here on the (possibly recalled) executions.  (Note
+    that editing the checker still re-simulates — fingerprints embed a
+    digest of all ``src/repro`` sources, conservatively.)
+    """
+    from repro.experiments import run_sweep
+    programs = list(programs or ALL_LITMUS)
+    seeds = list(seeds)
+    specs = [litmus_spec(program, protocol=protocol, seed=seed)
+             for program in programs for seed in seeds]
+    executions = iter(run_sweep(specs, jobs=jobs, cache=cache))
     results: Dict[str, bool] = {}
-    for program in programs or ALL_LITMUS:
+    for program in programs:
         verdict = True
-        for seed in seeds:
-            observations = run_litmus(program, seed=seed,
-                                      protocol=protocol)
+        for _seed in seeds:
+            observations = [Observation(core, index, op, var, version)
+                            for core, index, op, var, version
+                            in next(executions).extra["observations"]]
             if not is_sequentially_consistent(program, observations):
                 verdict = False
-                break
         results[program.name] = verdict
     return results

@@ -105,6 +105,34 @@ class TestSweepCommand:
                    if line.startswith("fft"))
 
 
+class TestListBuilders:
+    def test_lists_registry(self):
+        code, text = run_cli("sweep", "--list-builders")
+        assert code == 0
+        for name in ("scorpio", "directory", "inso", "timestamp",
+                     "uncorq", "litmus", "multimesh", "tokenb"):
+            assert name in text
+        assert "expiration_window=20" in text
+
+    def test_sweep_without_benchmarks_errors(self):
+        code, text = run_cli("sweep")
+        assert code == 2
+        assert "at least one benchmark" in text
+
+
+class TestLitmusCommand:
+    def test_parallel_cached_suite(self, tmp_path):
+        cold_code, cold = run_cli("litmus", "--jobs", "2",
+                                  "--cache-dir", str(tmp_path))
+        warm_code, warm = run_cli("litmus", "--cache-dir", str(tmp_path))
+        assert cold_code == warm_code == 0
+        assert cold == warm
+        assert "5/5 litmus tests passed" in warm
+        # the warm pass recalled every (program, seed) execution
+        from repro.experiments import ResultCache
+        assert ResultCache(tmp_path).entries() == 15
+
+
 class TestFigureCommand:
     def test_list(self):
         code, text = run_cli("figure", "--list")

@@ -2,7 +2,8 @@
 ordering baselines (TS, Uncorq), INCF equivalence, arbiter fairness,
 notification OR-merge algebra, region-tracker conservatism."""
 
-from hypothesis import assume, given, settings
+import pytest
+from hypothesis import assume, example, given, settings
 from hypothesis import strategies as st
 
 from repro.cache.region_tracker import RegionTracker
@@ -67,9 +68,38 @@ class TestUncorqSoak:
 
 
 class TestIncfEquivalence:
+    # The divergence this example pins down (seed-failure triage, PR 3):
+    # core 1 runs R(3),R(0),W(3) while core 6 runs R(2),R(0),R(3) — a
+    # classic data race on line 3.  Unfiltered, core 6's read beats
+    # core 1's write (final states: core1=M, core6=I); with INCF the
+    # pruned snoop branches change mesh arbitration timing, the write
+    # wins the race instead, and the run ends core1=O, core6=S.  *Both*
+    # configurations are coherent MOSI outcomes and both executions are
+    # SC-admissible; INCF guarantees functional transparency (no snoop a
+    # cache needs is ever suppressed — see
+    # TestFilterTableProperties.test_never_false_negative_vs_oracle),
+    # not cycle-level timing transparency.  Filtering removes flits from
+    # the mesh, so races may legitimately resolve differently.  The
+    # property below is therefore too strong by design, not a model bug;
+    # it stays as a strict-xfail sentinel (the pinned @example always
+    # runs first, keeping the xfail deterministic).  The real guarantee
+    # is asserted by test_ht_incf_preserves_coherence below.
+    @pytest.mark.xfail(
+        strict=True,
+        reason="INCF is functionally transparent, not timing-transparent: "
+               "filtering changes arbitration timing, so racy traces may "
+               "resolve races differently (still coherent, still SC)")
     @settings(max_examples=6, deadline=None)
+    @example(raw=[[], [("R", 3, 11), ("R", 0, 1), ("W", 3, 1)],
+                  [], [], [], [],
+                  [("R", 2, 11), ("R", 0, 1), ("R", 3, 1)], [], []])
     @given(raw=traces_strategy(9, max_ops=4))
     def test_ht_incf_equals_unfiltered(self, raw):
+        """Cycle-exact final-state equality between INCF on and off.
+
+        Too strong — kept as a documented sentinel; see the class
+        comment for the analysis of the pinned counterexample.
+        """
         def final_states(incf):
             system = DirectorySystem(
                 scheme="HT", traces=build_traces(raw),
@@ -80,6 +110,30 @@ class TestIncfEquivalence:
                     for l2 in system.l2s]
 
         assert final_states(False) == final_states(True)
+
+    @settings(max_examples=6, deadline=None)
+    @example(raw=[[], [("R", 3, 11), ("R", 0, 1), ("W", 3, 1)],
+                  [], [], [], [],
+                  [("R", 2, 11), ("R", 0, 1), ("R", 3, 1)], [], []])
+    @given(raw=traces_strategy(9, max_ops=4))
+    def test_ht_incf_preserves_coherence(self, raw):
+        """What INCF actually guarantees: filtered runs complete and end
+        in a coherent MOSI configuration (at most one owner per line;
+        an M copy excludes all other copies)."""
+        system = DirectorySystem(
+            scheme="HT", traces=build_traces(raw),
+            noc=NocConfig(width=3, height=3), incf=True)
+        system.run_until_done(200_000)
+        assert system.all_cores_finished(), "INCF run deadlocked"
+        for line in range(5):
+            addr = BASE + line * LINE
+            states = [l2.state_of(addr) for l2 in system.l2s]
+            owners = [s for s in states if s.is_owner]
+            assert len(owners) <= 1, f"two owners for line {line}"
+            if any(s.name == "M" for s in states):
+                copies = [s for s in states if s.name != "I"]
+                assert len(copies) == 1, \
+                    f"M copy of line {line} coexists with other copies"
 
 
 class TestArbiterProperties:
