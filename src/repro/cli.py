@@ -14,6 +14,8 @@ Commands:
 * ``report`` — render a set of figures into a results directory.
 * ``trace`` — run an external trace file (the Graphite-traces flow).
 * ``features`` — print the Table 1 chip feature summary.
+* ``bench`` — time the quiescence kernel on/off on fixed workloads and
+  write ``BENCH_4.json`` (``--smoke`` for the tiny CI regime).
 * ``litmus`` — run the sequential-consistency litmus suite.
 
 ``sweep``, ``figure``, ``report`` and ``litmus`` honour ``REPRO_JOBS``
@@ -134,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_executor_options(report_p)
 
     sub.add_parser("features", help="print Table 1 chip features")
+
+    bench_p = sub.add_parser(
+        "bench", help="time the quiescence kernel on/off and write a "
+                      "JSON report")
+    bench_p.add_argument("--output", default="BENCH_4.json",
+                         help="report path (default: BENCH_4.json)")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="tiny 3x3 workloads for CI: proves the "
+                              "harness runs, numbers not meaningful")
+    bench_p.add_argument("--repeats", type=int, default=1,
+                         help="timing repeats per point (best-of)")
 
     litmus_p = sub.add_parser("litmus", help="run the SC litmus suite")
     litmus_p.add_argument("--protocol", choices=PROTOCOLS,
@@ -275,6 +288,25 @@ def cmd_report(args, out) -> int:
     return 0
 
 
+def cmd_bench(args, out) -> int:
+    from repro.experiments.bench import write_bench
+    report = write_bench(args.output, smoke=args.smoke,
+                         repeats=args.repeats)
+    mode = "smoke" if args.smoke else "full"
+    print(f"quiescence kernel bench ({mode} regime, "
+          f"{report['mesh']} mesh) -> {args.output}", file=out)
+    header = f"{'workload':<20}{'cycles':>9}{'on (s)':>9}{'off (s)':>9}" \
+             f"{'speedup':>9}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name, row in sorted(report["workloads"].items()):
+        print(f"{name:<20}{row['cycles']:>9}"
+              f"{row['wall_seconds_quiescence_on']:>9.2f}"
+              f"{row['wall_seconds_quiescence_off']:>9.2f}"
+              f"{row['speedup']:>8.2f}x", file=out)
+    return 0
+
+
 def cmd_features(args, out) -> int:
     width = max(len(k) for k in CHIP_FEATURES)
     for key, value in CHIP_FEATURES.items():
@@ -308,6 +340,7 @@ COMMANDS = {
     "report": cmd_report,
     "trace": cmd_trace,
     "features": cmd_features,
+    "bench": cmd_bench,
     "litmus": cmd_litmus,
 }
 

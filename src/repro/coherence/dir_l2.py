@@ -64,6 +64,11 @@ class DirectoryL2Controller(L2Controller):
             self._pending_issue.append(req)
 
     def step(self, cycle: int) -> None:
+        if not (self._delayed or self._pending_issue or self._ordered_queue):
+            # Same quiescence condition as the snoopy L2 minus the retry
+            # timer (the directory variants never rebroadcast).
+            self.idle_until(None)
+            return
         # Re-send queued unicasts with their home node preserved.
         if self._delayed:
             due = [d for d in self._delayed if d[0] <= cycle]
@@ -75,6 +80,7 @@ class DirectoryL2Controller(L2Controller):
             req = self._pending_issue.popleft()
             self.nic.send_request(req, dst=req.home_node)
         self._drain_ordered(cycle)
+        self._plan_sleep(cycle)
 
     # ------------------------------------------------------------------
     # Inbound: directory forwards instead of an ordered peer stream

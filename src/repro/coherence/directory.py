@@ -118,9 +118,11 @@ class DirectoryController(Clocked):
         if payload.home_node != self.node:
             return
         self._queue.append((payload, cycle, arrival_cycle))
+        self.wake()
 
     def step(self, cycle: int) -> None:
         if not (self._outbox or self._queue):
+            self.idle_until(None)   # _on_request / _send_forward wake us
             return
         # Outbound messages leave strictly in processing order (the
         # directory is the ordering point; per-destination delivery order
@@ -325,6 +327,7 @@ class DirectoryController(Clocked):
         """Queue an outbound forward/recall/ack for release once the
         directory access that produced it completes."""
         self._outbox.append((release_cycle, msg, dst))
+        self.wake(release_cycle)
 
     def idle(self) -> bool:
         return not self._queue and not self._outbox

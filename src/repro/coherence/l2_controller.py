@@ -205,6 +205,9 @@ class L2Controller(Clocked):
             self.nic.send_request(req)
         else:
             self._pending_issue.append(req)
+        # A new in-flight request may arm the retry timer (TokenB) or
+        # leave a pending issue to drain: make sure we are ticking.
+        self.wake()
 
     # ------------------------------------------------------------------
     # Ordered request stream (from the NIC)
@@ -216,6 +219,7 @@ class L2Controller(Clocked):
     def _on_ordered_request(self, payload: CoherenceRequest, sid: int,
                             cycle: int, arrival_cycle: int) -> None:
         self._ordered_queue.append((payload, sid, cycle, arrival_cycle))
+        self.wake()
 
     def _on_response(self, payload: Any, cycle: int) -> None:
         if not isinstance(payload, CoherenceResponse):
@@ -230,6 +234,10 @@ class L2Controller(Clocked):
         mshr.resp_stamps.update(payload.stamps)
         mshr.resp_version = payload.version
         mshr.resp_stamps["data_arrival"] = cycle
+        # Completion below may change state the step loop's snoop
+        # filtering reads (MSHRs, writebacks, region tracker): resume
+        # ticking so a sleeping L2 re-evaluates its queue head.
+        self.wake()
         self._maybe_complete(mshr, cycle)
 
     # ------------------------------------------------------------------
@@ -239,6 +247,9 @@ class L2Controller(Clocked):
     def step(self, cycle: int) -> None:
         if not (self._delayed or self._pending_issue or self._ordered_queue
                 or (self.config.retry_timeout is not None and self.mshrs)):
+            # Nothing queued or scheduled: _schedule / listener callbacks
+            # / _issue all wake us when that changes.
+            self.idle_until(None)
             return
         if self._delayed:
             due = [d for d in self._delayed if d[0] <= cycle]
@@ -251,6 +262,25 @@ class L2Controller(Clocked):
         if self.config.retry_timeout is not None:
             self._retry_stuck(cycle)
         self._drain_ordered(cycle)
+        self._plan_sleep(cycle)
+
+    def _plan_sleep(self, cycle: int) -> None:
+        """Sleep across cycles where this step provably repeats no-ops:
+        scheduled callbacks mature at known cycles, and a queue head
+        blocked on the L2 slot frees at ``_next_slot_cycle``.  Any state
+        change that could unblock earlier arrives through a waking
+        channel (_schedule, the NIC listeners, _issue, _on_response)."""
+        if self._pending_issue:
+            return       # NIC back-pressure: retried every cycle
+        if self.config.retry_timeout is not None and self.mshrs:
+            return       # TokenB retry timer: checked every cycle
+        wake_at = None
+        if self._delayed:
+            wake_at = min(d[0] for d in self._delayed)
+        if self._ordered_queue and (wake_at is None
+                                    or self._next_slot_cycle < wake_at):
+            wake_at = self._next_slot_cycle
+        self.idle_until(wake_at)
 
     def _retry_stuck(self, cycle: int) -> None:
         """TokenB baseline: rebroadcast unresolved requests (lost races)."""
@@ -563,6 +593,7 @@ class L2Controller(Clocked):
 
     def _schedule(self, cycle: int, fn: Callable[[], None]) -> None:
         self._delayed.append((cycle, fn))
+        self.wake(cycle)
 
     def state_of(self, addr: int) -> State:
         return self.array.state_of(self.line_addr(addr))

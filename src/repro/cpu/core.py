@@ -67,15 +67,31 @@ class TraceCore(Clocked):
     def step(self, cycle: int) -> None:
         self._drain_l1_completions(cycle)
         if self.finished:
+            self.idle_until(None)
             return
         if self._pc >= len(self.trace):
             if not self._outstanding and not self._l1_completions:
                 self.finish_cycle = cycle
+                self.idle_until(None)
+            else:
+                # Drained the trace; only completions remain.  L2
+                # completions wake us via _on_l2_complete, L1 fills have
+                # a known due cycle.
+                self.idle_until(self._next_l1_due())
             return
         if len(self._outstanding) >= self.config.max_outstanding:
+            # The stall counter ticks per cycle spent at the AHB cap, so
+            # the core must stay awake here.
             self.stats.incr("core.stalls.outstanding")
             return
         if cycle < self._next_issue_cycle:
+            # Think-time gap with headroom below the cap: nothing to do
+            # until the next issue (or an earlier L1 fill to retire).
+            target = self._next_issue_cycle
+            l1_due = self._next_l1_due()
+            if l1_due is not None and l1_due < target:
+                target = l1_due
+            self.idle_until(target)
             return
         op = self.trace[self._pc]
         if not self._issue(op, cycle):
@@ -105,6 +121,12 @@ class TraceCore(Clocked):
         self.stats.incr("core.l2_requests")
         return True
 
+    def _next_l1_due(self) -> Optional[int]:
+        """Earliest pending L1 completion (None when there are none)."""
+        if not self._l1_completions:
+            return None
+        return min(done for done, _addr in self._l1_completions)
+
     def _drain_l1_completions(self, cycle: int) -> None:
         if not self._l1_completions:
             return
@@ -122,6 +144,7 @@ class TraceCore(Clocked):
         op = self._outstanding.pop(token, None)
         if op is None:
             return
+        self.wake()
         self.completed_ops += 1
         self.stats.incr("core.ops_completed")
         if self.l1 is not None and op.op == "R":

@@ -180,6 +180,7 @@ class MemoryController(Clocked):
             (send_cycle,
              lambda: self.nic.send_response(resp, req.requester,
                                             carries_data=True)))
+        self.wake(send_cycle)
         self.stats.incr("mc.dram_reads")
 
     def _serve_mem_read(self, msg: MemRead, cycle: int,
@@ -202,6 +203,7 @@ class MemoryController(Clocked):
             (send_cycle,
              lambda: self.nic.send_response(resp, req.requester,
                                             carries_data=True)))
+        self.wake(send_cycle)
         self.stats.incr("mc.dram_reads")
 
     def _on_response(self, payload: Any, cycle: int) -> None:
@@ -222,13 +224,19 @@ class MemoryController(Clocked):
     # ------------------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        if not self._delayed:
-            return
-        due = [d for d in self._delayed if d[0] <= cycle]
-        if due:
-            self._delayed = [d for d in self._delayed if d[0] > cycle]
-            for _c, fn in due:
-                fn()
+        if self._delayed:
+            due = [d for d in self._delayed if d[0] <= cycle]
+            if due:
+                self._delayed = [d for d in self._delayed if d[0] > cycle]
+                for _c, fn in due:
+                    fn()
+        # The only per-cycle work is releasing scheduled DRAM responses,
+        # so sleep to the earliest one (appends wake us with their send
+        # cycle; the listener callbacks run regardless of sleep state).
+        if self._delayed:
+            self.idle_until(min(d[0] for d in self._delayed))
+        else:
+            self.idle_until(None)
 
 
     def idle(self) -> bool:

@@ -34,6 +34,10 @@ from repro.sim.stats import StatsRegistry
 
 INJECT_TO_ROUTER_DELAY = 2   # NIC "ST" + injection link
 
+# Sentinel returned by NetworkInterface._sleep_target: the next cycle's
+# step may do observable work, so no quiescence may be declared.
+_STAY_AWAKE = object()
+
 
 class NetworkInterface(Clocked):
     """One node's NIC, bridging cache controller and both networks."""
@@ -81,6 +85,17 @@ class NetworkInterface(Clocked):
         # Uncore pipelining knob (Sec. 5.3): cycles between deliveries.
         self.service_interval = 1 if noc_config.nic_pipelined else 4
         self._next_service_cycle = 0
+
+    # Last cycle this NIC stepped; only the timestamp/uncorq variants
+    # refresh it, as input to _clock().
+    _now = 0
+
+    def _clock(self) -> int:
+        """The current cycle, valid even while this NIC is quiescent
+        (``_now`` is only refreshed by ``step``, which a sleeping NIC
+        skips; falls back to it when no quiescence engine is attached)."""
+        engine = self._q_engine
+        return engine.cycle if engine is not None else self._now
 
     # ------------------------------------------------------------------
     # Wiring
@@ -137,6 +152,7 @@ class NetworkInterface(Clocked):
                         seq=self._sent_requests)
         self._sent_requests += 1
         self._inject_queues[VNet.GO_REQ].append(packet)
+        self.wake()
         self.stats.incr("nic.requests_sent")
 
     def send_response(self, payload: Any, dst: int,
@@ -146,6 +162,7 @@ class NetworkInterface(Clocked):
         packet = Packet(vnet=VNet.UO_RESP, src=self.node, dst=dst,
                         sid=self.node, size_flits=size, payload=payload)
         self._inject_queues[VNet.UO_RESP].append(packet)
+        self.wake()
         self.stats.incr("nic.responses_sent")
 
     def current_esid(self) -> Optional[int]:
@@ -207,6 +224,9 @@ class NetworkInterface(Clocked):
         core_bits = vector & ((1 << stop_bit) - 1)
         if core_bits:
             self.tracker.push(core_bits)
+            # The ESID may now match a held request: resume ticking (a
+            # NIC blocked on the global order sleeps between windows).
+            self.wake()
 
     # ------------------------------------------------------------------
     # Main-network downstream interface (ejection side)
@@ -215,6 +235,7 @@ class NetworkInterface(Clocked):
     def deliver_packet(self, packet: Packet, inport: int, vnet: VNet,
                        vc_index: int, arrive_cycle: int) -> None:
         self._arrivals.append((arrive_cycle, packet, vnet, vc_index))
+        self.wake(arrive_cycle)
 
     def deliver_lookahead(self, la: Lookahead, process_cycle: int) -> None:
         pass  # the NIC has no crossbar to pre-allocate
@@ -223,6 +244,7 @@ class NetworkInterface(Clocked):
                              flits: int, cycle: int) -> None:
         """Router's LOCAL input VC freed — injection credit returns."""
         self._credit_returns.append((cycle, vnet, vc, flits))
+        self.wake(cycle)
 
     # ------------------------------------------------------------------
     # Per-cycle behaviour
@@ -238,13 +260,78 @@ class NetworkInterface(Clocked):
 
     def step(self, cycle: int) -> None:
         if self._quiet():
+            self._enter_quiescence(cycle)
             return   # nothing in flight at this NIC
         self._apply_credit_returns(cycle)
         self._accept_arrivals(cycle)
         self._deliver_ordered(cycle)
         self._deliver_responses(cycle)
         self._inject(cycle)
+        self._plan_sleep(cycle)
 
+    def _enter_quiescence(self, cycle: int) -> None:
+        """Nothing in flight: sleep until an inbound event or a new
+        injection wakes us (subclasses with self-generated periodic work
+        override this — INSO's slot expiry, for example)."""
+        self.idle_until(None)
+
+    def _plan_sleep(self, cycle: int) -> None:
+        target = self._sleep_target(cycle)
+        if target is not _STAY_AWAKE:
+            self.idle_until(target)
+
+    def _sleep_target(self, cycle: int):
+        """After a step's work: the cycle to sleep to (None = until an
+        external wake), or ``_STAY_AWAKE`` when next cycle's step may act.
+
+        The dominant case is the ordered-delivery wait: a NIC holding
+        GO-REQ packets whose ESID has not come up re-checks the tracker
+        every cycle to no effect — the tracker only moves on a window
+        delivery (which wakes us) or our own consume (we are awake).
+        """
+        if self._resp_queue or self._req_fifo:
+            return _STAY_AWAKE       # drained per cycle / per-cycle stats
+        wake_at = None
+        if self._held_goreq:
+            esid = self.tracker.current_esid()
+            if esid is not None and esid in self._held_goreq:
+                if cycle + 1 >= self._next_service_cycle:
+                    # Deliverable (or gate-blocked, which counts a stall
+                    # per cycle): keep ticking.
+                    return _STAY_AWAKE
+                wake_at = self._next_service_cycle
+            # else: blocked on the global order; receive_merged_
+            # notification / deliver_packet wake us.
+        if not self._inject_blocked():
+            return _STAY_AWAKE       # one injection per vnet per cycle
+        for due in self._pending_event_cycles():
+            if wake_at is None or due < wake_at:
+                wake_at = due
+        return wake_at
+
+    def _pending_event_cycles(self):
+        """Due cycles of queued future events (already-due ones were
+        consumed by this step)."""
+        for entry in self._credit_returns:
+            yield entry[0]
+        for entry in self._arrivals:
+            yield entry[0]
+
+    def _inject_blocked(self) -> bool:
+        """True when every non-empty inject queue is provably stuck
+        until a credit event (which wakes us via queue_credit_release)."""
+        for vnet in (VNet.GO_REQ, VNet.UO_RESP):
+            queue = self._inject_queues[vnet]
+            if not queue:
+                continue
+            packet = queue[0]
+            if vnet == VNet.GO_REQ \
+                    and self._inject_sid_tracker.blocks(packet.sid):
+                continue
+            if self._free_inject_vc(vnet) is None:
+                continue
+            return False             # head could go next cycle
+        return True
 
     def _apply_credit_returns(self, cycle: int) -> None:
         if not self._credit_returns:

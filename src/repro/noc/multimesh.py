@@ -52,6 +52,7 @@ class MeshTap:
     def queue_credit_release(self, outport, vnet, vc, flits, cycle):
         self.nic._tagged_credit_returns.append(
             (cycle, self.index, vnet, vc, flits))
+        self.nic.wake(cycle)
 
 
 class MultiMeshInterface(NetworkInterface):
@@ -104,6 +105,18 @@ class MultiMeshInterface(NetworkInterface):
 
     def _quiet(self) -> bool:
         return super()._quiet() and not self._tagged_credit_returns
+
+    def _pending_event_cycles(self):
+        yield from super()._pending_event_cycles()
+        for entry in self._tagged_credit_returns:
+            yield entry[0]
+
+    def _inject_blocked(self) -> bool:
+        # _mesh_for mutates the response round-robin pointer, so the base
+        # head probe cannot be replayed here without changing behaviour;
+        # simply stay awake while anything waits to inject.
+        return not (self._inject_queues[VNet.GO_REQ]
+                    or self._inject_queues[VNet.UO_RESP])
 
     def _apply_credit_returns(self, cycle: int) -> None:
         super()._apply_credit_returns(cycle)

@@ -148,13 +148,16 @@ class Router(Clocked):
     def deliver_packet(self, packet: Packet, inport: int, vnet: VNet,
                        vc_index: int, arrive_cycle: int) -> None:
         self._arrivals.append((arrive_cycle, packet, inport, vnet, vc_index))
+        self.wake(arrive_cycle)
 
     def deliver_lookahead(self, la: Lookahead, process_cycle: int) -> None:
         self._lookaheads.append((process_cycle, la))
+        self.wake(process_cycle)
 
     def queue_credit_release(self, outport: int, vnet: VNet, vc: int,
                              flits: int, cycle: int) -> None:
         self._credit_returns.append((cycle, outport, vnet, vc, flits))
+        self.wake(cycle)
 
     # ------------------------------------------------------------------
     # Per-cycle behaviour
@@ -163,7 +166,10 @@ class Router(Clocked):
     def step(self, cycle: int) -> None:
         if not (self._arrivals or self._lookaheads or self._credit_returns
                 or self._n_buffered):
-            return   # router is completely idle this cycle
+            # Completely idle: sleep until something is delivered (every
+            # inbound channel wakes us with its due cycle).
+            self.idle_until(None)
+            return
         self._apply_credit_returns(cycle)
         self._process_arrivals(cycle)
         if self._n_buffered:
@@ -171,6 +177,21 @@ class Router(Clocked):
         self._process_lookaheads(cycle)
         if self._n_buffered:
             self._arbitrate_buffered(cycle)
+        if not self._n_buffered:
+            # Nothing buffered: the only work before the next queued due
+            # cycle is re-partitioning not-yet-due queues — a no-op.
+            self.idle_until(self._next_due_cycle())
+
+    def _next_due_cycle(self) -> Optional[int]:
+        """Earliest due cycle across the inbound queues (None if empty)."""
+        nxt = None
+        for queue in (self._arrivals, self._lookaheads,
+                      self._credit_returns):
+            for entry in queue:
+                due = entry[0]
+                if nxt is None or due < nxt:
+                    nxt = due
+        return nxt
 
 
     # -- credits --------------------------------------------------------

@@ -133,6 +133,10 @@ class NodeTester(Clocked):
 
     # -- clocking --------------------------------------------------------
 
+    # NOTE: the tester draws its Bernoulli injection RNG every single
+    # cycle, so it can never declare quiescence — sleeping would shift
+    # the draw sequence and change the generated traffic.  Synthetic
+    # mesh characterization therefore runs every tick, by design.
     def step(self, cycle: int) -> None:
         for entry in [e for e in self._credit_returns if e[0] <= cycle]:
             self._credit_returns.remove(entry)

@@ -53,6 +53,14 @@ class NotificationNetwork(Clocked):
         # Per-node callbacks installed by NICs.
         self.sources: List[Optional[Callable[[], int]]] = [None] * self.n_nodes
         self.sinks: List[Optional[Callable[[int], None]]] = [None] * self.n_nodes
+        # True while the current window carries at least one injected
+        # vector: only then do the OR-routers have anything to merge (an
+        # all-zero mesh ORs zeros into zeros), so quiet windows skip the
+        # router loops and sleep between the two mandatory boundary
+        # cycles — the window-start source poll and the window-end sink
+        # delivery (sinks fire every window, vector or not: an empty
+        # delivery re-enables NICs that saw a stop bit).
+        self._window_active = False
         engine.register(self)
 
     def _link(self, a: int, b: int) -> None:
@@ -104,23 +112,39 @@ class NotificationNetwork(Clocked):
                     vector = source()
                     if vector:
                         self.routers[node].accum |= vector
+                        self._window_active = True
                         self.stats.incr("notification.injected")
-        for router in self.routers:
-            router.step(cycle)
+        if self._window_active:
+            for router in self.routers:
+                router.step(cycle)
 
     def commit(self, cycle: int) -> None:
-        for router in self.routers:
-            router.commit(cycle)
-        if self.window_phase(cycle) == self.config.window - 1:
-            merged = [router.accum for router in self.routers]
-            # Invariant: all nodes hold the identical merged vector.
-            if any(v != merged[0] for v in merged):  # pragma: no cover
-                raise AssertionError("notification window too short: nodes "
-                                     "disagree on the merged vector")
+        if self._window_active:
+            for router in self.routers:
+                router.commit(cycle)
+        phase = self.window_phase(cycle)
+        if phase == self.config.window - 1:
+            if self._window_active:
+                merged = [router.accum for router in self.routers]
+                # Invariant: all nodes hold the identical merged vector.
+                if any(v != merged[0] for v in merged):  # pragma: no cover
+                    raise AssertionError(
+                        "notification window too short: nodes disagree on "
+                        "the merged vector")
+            else:
+                merged = [0] * self.n_nodes
             for node, sink in enumerate(self.sinks):
                 if sink is not None:
                     sink(merged[node])
-            for router in self.routers:
-                router.clear()
+            if self._window_active:
+                for router in self.routers:
+                    router.clear()
+                self._window_active = False
             if merged[0]:
                 self.stats.incr("notification.windows_nonempty")
+            # Next cycle is a window start: stay awake to poll sources.
+        elif not self._window_active:
+            # Quiet mid-window: nothing merges until the window-end sink
+            # delivery.  (Sources are only polled at window starts, so no
+            # injection can appear before then either.)
+            self.idle_until(cycle - phase + self.config.window - 1)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.nic.controller import NetworkInterface
+from repro.nic.controller import _STAY_AWAKE, NetworkInterface
 from repro.noc.config import NocConfig, NotificationConfig
 from repro.noc.packet import Packet, VNet
 from repro.sim.stats import StatsRegistry
@@ -102,6 +102,7 @@ class InsoNetworkInterface(NetworkInterface):
         packet = Packet(vnet=VNet.GO_REQ, src=self.node, dst=None,
                         sid=self.node, size_flits=1, payload=wrapped)
         self._inject_queues[VNet.GO_REQ].append(packet)
+        self.wake()
         self.stats.incr("nic.requests_sent")
 
     def _broadcast_expiry(self, cycle: int) -> None:
@@ -118,6 +119,7 @@ class InsoNetworkInterface(NetworkInterface):
         when = cycle + self.expiry_latency
         for peer in self.peers:
             peer._future_frontiers.append((when, self.node, through, used))
+            peer.wake(when)
         self.stats.incr("inso.expiry_messages")
 
     # ------------------------------------------------------------------
@@ -182,6 +184,23 @@ class InsoNetworkInterface(NetworkInterface):
     def _quiet(self) -> bool:
         return (super()._quiet() and not self._held_by_slot
                 and not self._future_frontiers)
+
+    def _enter_quiescence(self, cycle: int) -> None:
+        # INSO is never fully quiescent: slot expiry is periodic
+        # self-generated work, so sleep only up to the next expiry
+        # broadcast.
+        self.idle_until(self._next_expiry_cycle)
+
+    def _sleep_target(self, cycle: int):
+        if self._held_by_slot or self._future_frontiers:
+            # Slot waits interleave gate checks and expiry skipping with
+            # per-cycle stats; stay conservative.
+            return _STAY_AWAKE
+        target = super()._sleep_target(cycle)
+        if target is _STAY_AWAKE:
+            return _STAY_AWAKE
+        cap = self._next_expiry_cycle
+        return cap if target is None else min(target, cap)
 
     def step(self, cycle: int) -> None:
         if cycle >= self._next_expiry_cycle:

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.nic.controller import NetworkInterface
+from repro.nic.controller import _STAY_AWAKE, NetworkInterface
 from repro.noc.config import NocConfig, NotificationConfig
 from repro.noc.packet import Packet, VNet
 from repro.sim.stats import StatsRegistry
@@ -83,12 +83,13 @@ class TimestampNetworkInterface(NetworkInterface):
             raise ValueError("TS requests are always broadcast")
         if not self.can_send_request():
             raise RuntimeError(f"NIC {self.node} request queue full")
-        wrapped = TimestampedPayload(ot=self._now + self.slack,
+        wrapped = TimestampedPayload(ot=self._clock() + self.slack,
                                      seq=self._seq, inner=payload)
         self._seq += 1
         packet = Packet(vnet=VNet.GO_REQ, src=self.node, dst=None,
                         sid=self.node, size_flits=1, payload=wrapped)
         self._inject_queues[VNet.GO_REQ].append(packet)
+        self.wake()
         self.stats.incr("nic.requests_sent")
 
     # ------------------------------------------------------------------
@@ -144,6 +145,13 @@ class TimestampNetworkInterface(NetworkInterface):
 
     def _quiet(self) -> bool:
         return super()._quiet() and not self._reorder
+
+    def _sleep_target(self, cycle: int):
+        if self._reorder:
+            # Reordered requests mature against the wall clock (GT = the
+            # local cycle), not against an event we could be woken by.
+            return _STAY_AWAKE
+        return super()._sleep_target(cycle)
 
     def step(self, cycle: int) -> None:
         self._now = cycle

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.coherence.messages import CoherenceRequest, ReqKind
-from repro.nic.controller import NetworkInterface
+from repro.nic.controller import _STAY_AWAKE, NetworkInterface
 from repro.noc.config import NocConfig, NotificationConfig
 from repro.noc.packet import Packet, VNet
 from repro.sim.engine import Clocked
@@ -111,6 +111,7 @@ class LogicalRing(Clocked):
                           next_hop_cycle=cycle + self._hop_cost(position),
                           launch_cycle=cycle, on_complete=on_complete)
         self._tokens.append(token)
+        self.wake(token.next_hop_cycle)
         self.stats.incr("uncorq.tokens_launched")
 
     def in_flight(self) -> int:
@@ -124,6 +125,7 @@ class LogicalRing(Clocked):
 
     def step(self, cycle: int) -> None:
         if not self._tokens:
+            self.idle_until(None)    # launch() wakes us
             return
         finished: List[RingToken] = []
         for token in self._tokens:
@@ -142,6 +144,11 @@ class LogicalRing(Clocked):
                 self.stats.observe("uncorq.ring_latency",
                                    cycle - token.launch_cycle)
                 token.on_complete(token.req_id, cycle)
+        if self._tokens:
+            # Hops mature at known cycles; nothing happens in between.
+            self.idle_until(min(t.next_hop_cycle for t in self._tokens))
+        else:
+            self.idle_until(None)
 
 
 class UncorqNetworkInterface(NetworkInterface):
@@ -170,7 +177,7 @@ class UncorqNetworkInterface(NetworkInterface):
         if isinstance(payload, CoherenceRequest) \
                 and payload.kind is ReqKind.GETX and self.ring is not None:
             self._ring_pending[payload.req_id] = False
-            self.ring.launch(payload.req_id, self.node, self._now,
+            self.ring.launch(payload.req_id, self.node, self._clock(),
                              self._ring_done)
         super().send_request(payload, dst)
 
@@ -234,12 +241,15 @@ class UncorqNetworkInterface(NetworkInterface):
     def _quiet(self) -> bool:
         return super()._quiet() and not self._held_responses
 
+    def _sleep_target(self, cycle: int):
+        if self._held_responses:
+            return _STAY_AWAKE   # released by ring completions
+        return super()._sleep_target(cycle)
+
     def step(self, cycle: int) -> None:
         self._now = cycle
         self._release_ring_completions(cycle)
         super().step(cycle)
-
-    _now = 0
 
     def idle(self) -> bool:
         return super().idle() and not self._held_responses

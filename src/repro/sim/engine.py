@@ -1,4 +1,4 @@
-"""Cycle-driven simulation kernel.
+"""Cycle-driven simulation kernel with quiescence-aware scheduling.
 
 The kernel models synchronous hardware with a two-phase clock:
 
@@ -12,12 +12,70 @@ The kernel models synchronous hardware with a two-phase clock:
 Components register with an :class:`Engine`; registration order is the
 (deterministic) evaluation order within each phase.  The engine also hosts
 a seeded random source so that whole-system simulations are reproducible.
+
+Quiescence
+----------
+Most components of a large mesh are idle most of the time, so the engine
+supports an *activity-driven* mode (on by default): a component whose
+``step``/``commit`` are provably no-ops until some future cycle declares
+that with :meth:`Clocked.idle_until`, and anything that hands it new work
+(a flit arrival, a queued credit, a scheduled callback) revokes the
+declaration with :meth:`Clocked.wake`.  Sleeping components are skipped
+by :meth:`Engine.tick`, and :meth:`Engine.run` fast-forwards the global
+clock across windows in which *every* component is asleep and no watcher
+is armed.
+
+The contract that keeps results cycle-for-cycle identical to the naive
+always-tick engine:
+
+* a component may only sleep across cycles in which its ``step`` and
+  ``commit`` would have no observable effect (including stats counters —
+  a per-cycle stall counter means the component must stay awake);
+* every channel that can end such a stretch must ``wake`` the component
+  with the cycle the new work becomes due;
+* ``wake`` always wins over a sleep declared earlier in the same tick
+  (the declaration was made without knowledge of the new event).
+
+``idle_until``/``wake`` are no-ops on unregistered components and on
+engines constructed with ``quiescence=False``, so components are
+oblivious to which mode they run under.  The default can be forced off
+process-wide with ``REPRO_QUIESCENCE=0`` (or :func:`forced_quiescence`) —
+that is how the differential identity suite compares the two kernels.
 """
 
 from __future__ import annotations
 
+import os
 import random
-from typing import Callable, List, Optional
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Tuple
+
+# A wake cycle no simulation reaches: "asleep until woken".
+WAKE_NEVER = 1 << 62
+
+_FORCED_DEFAULT: Optional[bool] = None
+
+
+def default_quiescence() -> bool:
+    """The process-wide default for ``Engine(quiescence=None)``."""
+    if _FORCED_DEFAULT is not None:
+        return _FORCED_DEFAULT
+    return os.environ.get("REPRO_QUIESCENCE", "1").lower() \
+        not in ("0", "false", "off")
+
+
+@contextmanager
+def forced_quiescence(enabled: Optional[bool]):
+    """Force the engine-default quiescence mode within a ``with`` block
+    (``None`` restores env/default resolution).  Used by the differential
+    test harness and the ``repro bench`` timing harness."""
+    global _FORCED_DEFAULT
+    previous = _FORCED_DEFAULT
+    _FORCED_DEFAULT = enabled
+    try:
+        yield
+    finally:
+        _FORCED_DEFAULT = previous
 
 
 class Clocked:
@@ -28,28 +86,79 @@ class Clocked:
     next-state into state).  Either may be a no-op.
     """
 
+    # Installed by Engine.register; None while unregistered (or when the
+    # engine runs with quiescence disabled), making the sleep/wake
+    # protocol a no-op.
+    _q_cell: Optional[list] = None
+    _q_engine: Optional["Engine"] = None
+
     def step(self, cycle: int) -> None:  # pragma: no cover - interface
         """Compute this cycle's outputs from committed state."""
 
     def commit(self, cycle: int) -> None:  # pragma: no cover - interface
         """Advance state at the clock edge."""
 
+    # -- quiescence protocol -------------------------------------------
+
+    def idle_until(self, cycle: Optional[int]) -> None:
+        """Declare this component quiescent until *cycle* (``None`` =
+        until an external :meth:`wake`).
+
+        Call it only when every skipped ``step``/``commit`` up to *cycle*
+        would be a no-op.  A declaration made during a tick takes effect
+        *after* the tick (the same cycle's commit still runs), and is
+        discarded if a wake arrives later in the same tick.
+        """
+        engine = self._q_engine
+        if engine is not None:
+            engine._sleep(self._q_cell, cycle)
+
+    def wake(self, cycle: Optional[int] = None) -> None:
+        """Ensure this component ticks again no later than *cycle*
+        (``None`` = the engine's current cycle, i.e. immediately)."""
+        cell = self._q_cell
+        if cell is None:
+            return
+        cell[1] += 1      # invalidate any sleep declared this tick
+        if cycle is None:
+            cycle = self._q_engine._cycle
+        if cycle < cell[0]:
+            cell[0] = cycle
+
 
 class Engine:
     """Deterministic two-phase cycle-driven simulation engine."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 quiescence: Optional[bool] = None) -> None:
         self._components: List[Clocked] = []
-        # Bound step/commit methods, resolved once at registration: the
-        # tick loop runs hundreds of thousands of times per simulation,
-        # and per-tick attribute lookups dominate its overhead (a
-        # profile-guided flattening; see also the no-op skipping below).
-        self._step_fns: List[Callable[[int], None]] = []
-        self._commit_fns: List[Callable[[int], None]] = []
+        # Per-phase entries of (cell, bound method), resolved once at
+        # registration: the tick loop runs hundreds of thousands of times
+        # per simulation, and per-tick attribute lookups dominate its
+        # overhead.  ``cell`` is the component's shared sleep record,
+        # ``[wake_cycle, wake_serial]``: the component runs in a phase
+        # iff ``cell[0] <= cycle``.
+        self._step_entries: List[Tuple[list, Callable[[int], None]]] = []
+        self._commit_entries: List[Tuple[list, Callable[[int], None]]] = []
+        self._cells: List[list] = []
         self._cycle = 0
         self.random = random.Random(seed)
         self._stop_requested = False
         self._watchers: List[Callable[[int], None]] = []
+        self.quiescence = default_quiescence() if quiescence is None \
+            else bool(quiescence)
+        self._ticking = False
+        self._last_tick_idle = False
+        # Sleep declarations made mid-tick: (cell, target, serial at the
+        # time of the request).  Applied after the commit phase, unless a
+        # wake bumped the cell's serial since (wakes win).
+        self._pending_sleeps: List[Tuple[list, int, int]] = []
+        # Kernel accounting (diagnostics only — deliberately *not* part
+        # of any StatsRegistry snapshot, so quiescence never leaks into
+        # cached sweep payloads; see StatsRegistry.set_meta).
+        self.ticks_executed = 0
+        self.idle_ticks = 0
+        self.cycles_fast_forwarded = 0
 
     @property
     def cycle(self) -> int:
@@ -65,28 +174,93 @@ class Engine:
         # them — a large fraction of per-cycle overhead in big systems.
         # (Consequence: a step/commit method assigned onto an instance
         # *after* registration is not seen; subclasses must override.)
-        if type(component).step is not Clocked.step:
-            self._step_fns.append(component.step)
-        if type(component).commit is not Clocked.commit:
-            self._commit_fns.append(component.commit)
+        has_step = type(component).step is not Clocked.step
+        has_commit = type(component).commit is not Clocked.commit
+        if not (has_step or has_commit):
+            return component
+        cell = [0, 0]          # [wake_cycle, wake_serial]; 0 = awake
+        self._cells.append(cell)
+        if self.quiescence:
+            component._q_cell = cell
+            component._q_engine = self
+        if has_step:
+            self._step_entries.append((cell, component.step))
+        if has_commit:
+            self._commit_entries.append((cell, component.commit))
         return component
 
     def add_watcher(self, fn: Callable[[int], None]) -> None:
-        """Call *fn(cycle)* after each committed cycle (for probes/tests)."""
+        """Call *fn(cycle)* after each committed cycle (for probes/tests).
+
+        An armed watcher disables fast-forwarding: it observes every
+        cycle, so every cycle must be ticked.
+        """
         self._watchers.append(fn)
 
     def stop(self) -> None:
-        """Request that :meth:`run` return after the current cycle."""
+        """Request that :meth:`run` return after the current cycle.
+
+        A stop requested while no run is in progress applies to the
+        *next* :meth:`run`, which returns immediately having simulated
+        zero cycles (the request is consumed either way).
+        """
         self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Quiescence plumbing (called via Clocked.idle_until / Clocked.wake)
+    # ------------------------------------------------------------------
+
+    def _sleep(self, cell: Optional[list], cycle: Optional[int]) -> None:
+        if cell is None:
+            return
+        target = WAKE_NEVER if cycle is None else cycle
+        if self._ticking:
+            self._pending_sleeps.append((cell, target, cell[1]))
+        else:
+            cell[0] = target
+
+    def wake(self, component: Clocked, cycle: Optional[int] = None) -> None:
+        """Engine-issued wake: make *component* tick again no later than
+        *cycle* (``None`` = immediately).  Equivalent to
+        ``component.wake(cycle)``."""
+        component.wake(cycle)
+
+    def _earliest_wake(self) -> int:
+        """The earliest cycle any component is due (WAKE_NEVER if every
+        component sleeps unconditionally, or none is registered)."""
+        cells = self._cells
+        if not cells:
+            return WAKE_NEVER
+        return min(cell[0] for cell in cells)
+
+    # ------------------------------------------------------------------
+    # Clocking
+    # ------------------------------------------------------------------
 
     def tick(self) -> None:
         """Advance the simulation by exactly one cycle."""
         cycle = self._cycle
-        for step in self._step_fns:
-            step(cycle)
-        for commit in self._commit_fns:
-            commit(cycle)
+        ran = False
+        self._ticking = True
+        for cell, step in self._step_entries:
+            if cell[0] <= cycle:
+                step(cycle)
+                ran = True
+        for cell, commit in self._commit_entries:
+            if cell[0] <= cycle:
+                commit(cycle)
+                ran = True
+        self._ticking = False
+        if self._pending_sleeps:
+            for cell, target, serial in self._pending_sleeps:
+                if cell[1] == serial:   # no wake arrived after the request
+                    cell[0] = target
+            self._pending_sleeps.clear()
         self._cycle = cycle + 1
+        self.ticks_executed += 1
+        self._last_tick_idle = not ran
+        if not ran:
+            self.idle_ticks += 1
         if self._watchers:
             for watcher in self._watchers:
                 watcher(self._cycle)
@@ -94,14 +268,55 @@ class Engine:
     def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
         """Run for at most *cycles* cycles.
 
-        If *until* is given, stop as soon as it returns True (checked after
-        each cycle).  Returns the number of cycles actually simulated.
+        If *until* is given, stop as soon as it returns True (checked
+        whenever simulated state may have changed).  Returns the number
+        of cycles actually simulated — including any fast-forwarded
+        across fully-quiescent windows, during which no state changes.
         """
-        self._stop_requested = False
         start = self._cycle
+        end = start + cycles
+        if self._stop_requested:
+            # A stop requested between runs applies here: consume it and
+            # simulate nothing.
+            self._stop_requested = False
+            return 0
         tick = self.tick
-        for _ in range(cycles):
+        quiescence = self.quiescence
+        while self._cycle < end:
             tick()
-            if self._stop_requested or (until is not None and until()):
+            if self._stop_requested:
+                self._stop_requested = False
                 break
+            if until is not None and until():
+                break
+            # Watchers are re-checked every iteration: one armed mid-run
+            # must observe every subsequent cycle.
+            if quiescence and self._last_tick_idle and not self._watchers:
+                # Nothing ran this cycle: no state changed, and nothing
+                # can until the earliest declared wake.  Jump there.
+                # (``until`` predicates must therefore depend on
+                # simulated state, which is frozen across the gap.)
+                target = min(self._earliest_wake(), end)
+                if target > self._cycle:
+                    self.cycles_fast_forwarded += target - self._cycle
+                    self._cycle = target
         return self._cycle - start
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def kernel_accounting(self) -> dict:
+        """Diagnostic counters for the quiescence kernel.
+
+        Keep these out of result payloads: they describe how the
+        simulation *ran*, not what it computed, and differ between
+        quiescence modes even though the simulated outcome is identical.
+        """
+        return {
+            "quiescence": float(self.quiescence),
+            "cycles": float(self._cycle),
+            "ticks_executed": float(self.ticks_executed),
+            "idle_ticks": float(self.idle_ticks),
+            "cycles_fast_forwarded": float(self.cycles_fast_forwarded),
+        }

@@ -65,12 +65,23 @@ class Histogram:
 
 
 class StatsRegistry:
-    """Named counters, gauges and histograms for one simulated system."""
+    """Named counters, gauges and histograms for one simulated system.
+
+    Counters/gauges/histograms describe the *simulated outcome* and are
+    exported by :meth:`snapshot` into sweep payloads.  The separate
+    ``meta`` channel describes how the simulation *ran* (quiescence
+    kernel accounting: ticks executed, cycles fast-forwarded across
+    fully-idle windows, …) and is deliberately excluded from
+    :meth:`snapshot`: a run with sleep/wake scheduling on and one with
+    it off produce byte-identical payloads even though their kernel
+    accounting differs.
+    """
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = defaultdict(int)
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
+        self.meta: Dict[str, float] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         self.counters[name] += amount
@@ -80,6 +91,13 @@ class StatsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histograms[name].add(value)
+
+    def set_meta(self, name: str, value: float) -> None:
+        """Record a kernel/run diagnostic, kept out of :meth:`snapshot`."""
+        self.meta[name] = float(value)
+
+    def get_meta(self, name: str, default: float = 0.0) -> float:
+        return self.meta.get(name, default)
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -97,6 +115,7 @@ class StatsRegistry:
             for sample in hist._samples:
                 mine.add(sample)
         self.gauges.update(other.gauges)
+        self.meta.update(other.meta)
 
     def snapshot(self, prefixes: Optional[Iterable[str]] = None) -> Dict[str, float]:
         """Flatten counters and histogram means into a plain dict."""

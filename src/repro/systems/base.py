@@ -106,7 +106,9 @@ class BaseSystem:
             self.cores[node] = core
 
     def run(self, cycles: int) -> int:
-        return self.engine.run(cycles)
+        ran = self.engine.run(cycles)
+        self._record_kernel_meta()
+        return ran
 
     def all_cores_finished(self) -> bool:
         return all(core.finished for core in self.cores.values())
@@ -115,7 +117,16 @@ class BaseSystem:
         """Run until every core finished its trace; returns the cycle
         count reached (the 'runtime' of the workload)."""
         self.engine.run(max_cycles, until=self.all_cores_finished)
+        self._record_kernel_meta()
         return self.engine.cycle
+
+    def _record_kernel_meta(self) -> None:
+        """Copy the engine's quiescence accounting into the stats *meta*
+        channel — diagnostics only, never part of result payloads (cycle
+        counts across fast-forwarded gaps are already reflected in
+        ``engine.cycle``; these say how many ticks actually executed)."""
+        for name, value in self.engine.kernel_accounting().items():
+            self.stats.set_meta(f"engine.{name}", value)
 
     def total_completed_ops(self) -> int:
         return sum(core.completed_ops for core in self.cores.values())

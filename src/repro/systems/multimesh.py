@@ -108,6 +108,8 @@ class MultiMeshScorpioSystem:
 
     def run_until_done(self, max_cycles: int = 1_000_000) -> int:
         self.engine.run(max_cycles, until=self.all_cores_finished)
+        for name, value in self.engine.kernel_accounting().items():
+            self.stats.set_meta(f"engine.{name}", value)
         return self.engine.cycle
 
     def total_completed_ops(self) -> int:

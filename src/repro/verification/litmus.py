@@ -68,11 +68,14 @@ class LitmusCore(Clocked):
 
     def step(self, cycle: int) -> None:
         if self._waiting or self._pc >= len(self.thread):
+            # Blocked on an in-flight op (the completion callback wakes
+            # us) or out of program: either way nothing to issue.
+            self.idle_until(None)
             return
         op, var = self.thread[self._pc]
         if self.l2.core_request(op, var_addr(var), cycle, token=self._pc):
             self._waiting = True
-
+            self.idle_until(None)
 
     def _on_complete(self, token, cycle, version=0) -> None:
         op, var = self.thread[token]
@@ -80,6 +83,7 @@ class LitmusCore(Clocked):
             Observation(self.node, token, op, var, version))
         self._pc = token + 1
         self._waiting = False
+        self.wake()
 
 
 @dataclass

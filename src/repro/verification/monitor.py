@@ -81,6 +81,10 @@ class SystemMonitor(Clocked):
         self.check_esid_agreement(cycle)
         self.check_occupancy_bounds(cycle)
         self.check_progress(cycle)
+        if self.interval > 1:
+            # Sampling monitors only observe at interval multiples; the
+            # cycles in between are free to fast-forward past.
+            self.idle_until(cycle + self.interval)
 
 
     def _fail(self, message: str) -> None:

@@ -168,6 +168,22 @@ class TestFigureCommand:
         assert "28.8" in text
 
 
+class TestBenchCommand:
+    def test_smoke_bench_writes_report(self, tmp_path):
+        import json
+        path = tmp_path / "BENCH_4.json"
+        code, text = run_cli("bench", "--smoke", "--output", str(path))
+        assert code == 0
+        assert "speedup" in text
+        report = json.loads(path.read_text())
+        assert report["smoke"] is True
+        assert set(report["workloads"]) == {"fft-low-injection",
+                                            "fft-saturated"}
+        for row in report["workloads"].values():
+            assert row["cycles"] > 0
+            assert row["wall_seconds_quiescence_on"] > 0
+
+
 class TestFeaturesCommand:
     def test_prints_table1(self):
         code, text = run_cli("features")

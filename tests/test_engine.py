@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim.engine import Clocked, Engine
+from repro.sim.engine import (WAKE_NEVER, Clocked, Engine,
+                              default_quiescence, forced_quiescence)
 from repro.sim.stats import Histogram, StatsRegistry
 
 
@@ -93,6 +94,155 @@ class TestEngine:
         b = Engine(seed=42).random.random()
         assert a == b
 
+    def test_stop_between_runs_applies_to_next_run(self):
+        # Regression: run() used to clear _stop_requested unconditionally,
+        # silently discarding a stop requested between runs.  Semantics
+        # now: a pending stop makes the next run() simulate zero cycles
+        # and is consumed by it.
+        engine = Engine()
+        counter = engine.register(Counter())
+        engine.run(3)
+        engine.stop()
+        assert engine.run(10) == 0
+        assert engine.cycle == 3 and counter.value == 3
+        # Consumed: the run after that is unaffected.
+        assert engine.run(2) == 2
+        assert counter.value == 5
+
+    def test_stop_during_run_is_consumed(self):
+        engine = Engine()
+        engine.register(Counter())
+        engine.add_watcher(lambda cycle: engine.stop() if cycle >= 2 else None)
+        engine.run(10)
+        assert engine.cycle == 2
+        engine._watchers.clear()
+        assert engine.run(3) == 3     # no stale stop request
+
+
+class Sleeper(Clocked):
+    """Steps, then sleeps for a fixed period."""
+
+    def __init__(self, period):
+        self.period = period
+        self.step_cycles = []
+
+    def step(self, cycle):
+        self.step_cycles.append(cycle)
+        self.idle_until(cycle + self.period)
+
+
+class TestQuiescence:
+    def test_idle_until_skips_ticks(self):
+        engine = Engine(quiescence=True)
+        sleeper = engine.register(Sleeper(10))
+        engine.run(25)
+        assert sleeper.step_cycles == [0, 10, 20]
+        assert engine.cycle == 25
+        assert engine.ticks_executed + engine.cycles_fast_forwarded == 25
+
+    def test_fast_forward_disabled_by_watcher(self):
+        engine = Engine(quiescence=True)
+        engine.register(Sleeper(10))
+        observed = []
+        engine.add_watcher(observed.append)
+        engine.run(20)
+        assert engine.cycles_fast_forwarded == 0
+        assert observed == list(range(1, 21))
+
+    def test_watcher_armed_mid_run_stops_fast_forward(self):
+        # The docstring promise "an armed watcher observes every cycle"
+        # must hold even for a watcher added while run() is in flight.
+        engine = Engine(quiescence=True)
+
+        observed = []
+
+        class Armer(Clocked):
+            def step(self, cycle):
+                if cycle == 5:
+                    engine.add_watcher(observed.append)
+                self.idle_until(None if cycle >= 5 else cycle + 5)
+
+        engine.register(Armer())
+        engine.run(20)
+        assert observed == list(range(6, 21))
+
+    def test_quiescence_off_ignores_protocol(self):
+        engine = Engine(quiescence=False)
+        sleeper = engine.register(Sleeper(10))
+        engine.run(25)
+        assert sleeper.step_cycles == list(range(25))
+        assert engine.cycles_fast_forwarded == 0
+
+    def test_unregistered_component_protocol_is_noop(self):
+        sleeper = Sleeper(10)
+        sleeper.step(0)           # idle_until without an engine
+        sleeper.wake()
+        assert sleeper.step_cycles == [0]
+
+    def test_wake_wins_over_sleep_declared_same_tick(self):
+        # A sleeps forever during its step; B (later in order) hands it
+        # work the same tick.  The stale declaration must be discarded.
+        class Target(Clocked):
+            def __init__(self):
+                self.inbox = []
+                self.seen = []
+
+            def step(self, cycle):
+                due = [e for e in self.inbox if e[0] <= cycle]
+                self.inbox = [e for e in self.inbox if e[0] > cycle]
+                self.seen.extend(due)
+                self.idle_until(min((e[0] for e in self.inbox),
+                                    default=None))
+
+        class Producer(Clocked):
+            def __init__(self, target):
+                self.target = target
+
+            def step(self, cycle):
+                if cycle == 3:
+                    self.target.inbox.append((5, "hello"))
+                    self.target.wake(5)
+                self.idle_until(None if cycle >= 3 else cycle + 1)
+
+        engine = Engine(quiescence=True)
+        target = engine.register(Target())
+        engine.register(Producer(target))
+        engine.run(10)
+        assert target.seen == [(5, "hello")]
+
+    def test_empty_engine_fast_forwards_whole_run(self):
+        engine = Engine(quiescence=True)
+        assert engine.run(1000) == 1000
+        assert engine.ticks_executed == 1
+        assert engine.cycles_fast_forwarded == 999
+
+    def test_run_until_with_state_predicate_across_sleep(self):
+        engine = Engine(quiescence=True)
+        sleeper = engine.register(Sleeper(7))
+        ran = engine.run(100, until=lambda: len(sleeper.step_cycles) >= 3)
+        assert sleeper.step_cycles == [0, 7, 14]
+        assert ran == 15
+
+    def test_forced_quiescence_overrides_default(self):
+        with forced_quiescence(False):
+            assert default_quiescence() is False
+            assert Engine().quiescence is False
+        with forced_quiescence(True):
+            assert Engine().quiescence is True
+        assert default_quiescence() is True   # env default restored
+
+    def test_kernel_accounting_shape(self):
+        engine = Engine(quiescence=True)
+        engine.register(Sleeper(5))
+        engine.run(12)
+        acct = engine.kernel_accounting()
+        assert acct["quiescence"] == 1.0
+        assert acct["cycles"] == 12.0
+        assert acct["ticks_executed"] + acct["cycles_fast_forwarded"] == 12.0
+
+    def test_wake_never_constant_is_far_future(self):
+        assert WAKE_NEVER > 10**15
+
 
 class TestStats:
     def test_counters(self):
@@ -147,6 +297,18 @@ class TestStats:
         a.incr("n", 2)
         b.incr("n", 3)
         b.observe("lat", 7)
+        b.set_meta("engine.ticks_executed", 9)
         a.merge(b)
         assert a.counter("n") == 5
         assert a.mean("lat") == 7
+        assert a.get_meta("engine.ticks_executed") == 9
+
+    def test_meta_excluded_from_snapshot(self):
+        stats = StatsRegistry()
+        stats.incr("real.outcome")
+        stats.set_meta("engine.cycles_fast_forwarded", 123)
+        snap = stats.snapshot()
+        assert "real.outcome" in snap
+        assert "engine.cycles_fast_forwarded" not in snap
+        assert stats.get_meta("engine.cycles_fast_forwarded") == 123.0
+        assert stats.get_meta("missing", 7.0) == 7.0
