@@ -18,6 +18,10 @@ Quick start::
     result = run_benchmark("barnes", protocol="scorpio",
                            config=ChipConfig.chip_36core())
     print(result.runtime)
+
+:mod:`repro.api` is the stable, versioned public surface (config
+serialization, experiment documents, the queryable ``StatsFrame``);
+every other module is an internal that may change between versions.
 """
 
 from repro.core import (CHIP_FEATURES, PROTOCOLS, ChipConfig, RunResult,

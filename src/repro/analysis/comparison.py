@@ -105,9 +105,21 @@ def compare_systems(systems: Mapping[str, Tuple[str, Mapping[str, Any]]],
     context) answers repeats without simulating.  Returns
     ``{label: SweepResult}`` in *systems* order.
     """
-    from repro.experiments import SystemSpec, run_sweep
-    specs = [SystemSpec(builder=builder, config=config, params=dict(params),
-                        workload=dict(workload), max_cycles=max_cycles,
-                        label=label)
-             for label, (builder, params) in systems.items()]
+    from repro.experiments import run_sweep
+    specs = system_specs(systems, workload, config=config,
+                         max_cycles=max_cycles)
     return dict(zip(systems, run_sweep(specs, jobs=jobs, cache=cache)))
+
+
+def system_specs(systems: Mapping[str, Tuple[str, Mapping[str, Any]]],
+                 workload: Mapping[str, Any],
+                 config: Optional["ChipConfig"] = None,
+                 max_cycles: int = 400_000) -> List[Any]:
+    """The :class:`SystemSpec` batch :func:`compare_systems` runs —
+    exported so experiment documents mirroring a comparison can be
+    regression-tested spec-identical to the code path."""
+    from repro.experiments import SystemSpec
+    return [SystemSpec(builder=builder, config=config, params=dict(params),
+                       workload=dict(workload), max_cycles=max_cycles,
+                       label=label)
+            for label, (builder, params) in systems.items()]

@@ -87,16 +87,36 @@ def read_figure_csv(path: PathLike) -> FigureData:
 
 def export_stats(stats: Mapping[str, float], path: PathLike,
                  prefixes: Sequence[str] = ()) -> Path:
-    """Write a flat statistics snapshot as name,value CSV rows."""
+    """Write a flat statistics snapshot as name,value CSV rows.
+
+    *stats* may be any flat mapping — including a
+    :class:`~repro.sim.statsframe.StatsFrame`, whose Mapping view this
+    routes through; *prefixes* select subtrees (``"l2."``-style)."""
+    from repro.sim.statsframe import StatsFrame
+    frame = stats if isinstance(stats, StatsFrame) else StatsFrame(stats)
+    if prefixes:
+        frame = frame.select(*(f"{prefix}*" for prefix in prefixes))
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="", encoding="ascii") as fh:
         writer = csv.writer(fh)
         writer.writerow(["stat", "value"])
-        for name in sorted(stats):
-            if prefixes and not any(name.startswith(p) for p in prefixes):
-                continue
-            writer.writerow([name, stats[name]])
+        for name in frame:
+            writer.writerow([name, frame[name]])
+    return path
+
+
+def export_stats_json(stats: Mapping[str, float], path: PathLike,
+                      prefixes: Sequence[str] = ()) -> Path:
+    """Write a statistics snapshot as stable (sorted-key) JSON —
+    byte-identical output for equal snapshots, diff-friendly."""
+    from repro.sim.statsframe import StatsFrame
+    frame = stats if isinstance(stats, StatsFrame) else StatsFrame(stats)
+    if prefixes:
+        frame = frame.select(*(f"{prefix}*" for prefix in prefixes))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(frame.to_json(indent=2) + "\n", encoding="ascii")
     return path
 
 

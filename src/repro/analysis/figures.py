@@ -134,18 +134,24 @@ def fig6c(quick: bool = True, seed: int = 0) -> str:
 # Figure 7 — ordered-network baselines
 # ---------------------------------------------------------------------------
 
-def fig7(quick: bool = True, seed: int = 0) -> str:
-    """SCORPIO vs TokenB vs INSO (expiry windows 20/40/80)."""
+_FIG7_SYSTEMS = (("scorpio", "scorpio", {}),
+                 ("tokenb", "tokenb", {}),
+                 ("inso20", "inso", {"expiration_window": 20}),
+                 ("inso40", "inso", {"expiration_window": 40}),
+                 ("inso80", "inso", {"expiration_window": 80}))
+
+
+def fig7_specs(quick: bool = True, seed: int = 0):
+    """The (axis, spec) points behind :func:`fig7`.
+
+    Exported so the checked-in experiment documents under
+    ``examples/experiments/`` can be regression-tested byte-identical to
+    the code path (see tests/test_experiment_documents.py)."""
     from repro.experiments import SystemSpec
 
     config = ChipConfig.variant(4, 4)
     benchmarks = ("blackscholes", "vips") if quick else (
         "blackscholes", "streamcluster", "swaptions", "vips")
-    systems = (("scorpio", "scorpio", {}),
-               ("tokenb", "tokenb", {}),
-               ("inso20", "inso", {"expiration_window": 20}),
-               ("inso40", "inso", {"expiration_window": 40}),
-               ("inso80", "inso", {"expiration_window": 80}))
 
     def workload(name):
         return {"kind": "benchmark", "name": name,
@@ -153,10 +159,19 @@ def fig7(quick: bool = True, seed: int = 0) -> str:
                 "workload_scale": QUICK["workload_scale"],
                 "think_scale": 8.0, "seed": seed}
 
-    axes = [(name, key) for name in benchmarks for key, _, _ in systems]
+    axes = [(name, key) for name in benchmarks
+            for key, _, _ in _FIG7_SYSTEMS]
     specs = [SystemSpec(builder=builder, config=config, params=params,
                         workload=workload(name), label=key)
-             for name in benchmarks for key, builder, params in systems]
+             for name in benchmarks
+             for key, builder, params in _FIG7_SYSTEMS]
+    return benchmarks, axes, specs
+
+
+def fig7(quick: bool = True, seed: int = 0) -> str:
+    """SCORPIO vs TokenB vs INSO (expiry windows 20/40/80)."""
+    benchmarks, axes, specs = fig7_specs(quick, seed)
+    systems = _FIG7_SYSTEMS
     runtimes = {axis: result.runtime
                 for axis, result in zip(axes, run_sweep(specs))}
     rows = []
@@ -288,39 +303,47 @@ def fig10(quick: bool = True, seed: int = 0) -> str:
 # Extras beyond the paper's numbered figures
 # ---------------------------------------------------------------------------
 
-def sec2(quick: bool = True, seed: int = 0) -> str:
-    """Sec. 2 critiques quantified: TS buffers and the Uncorq ring."""
+def sec2_specs(quick: bool = True, seed: int = 0):
+    """The spec list behind :func:`sec2` (scorpio, timestamp, uncorq) —
+    exported for the document regression tests."""
     from repro.experiments import SystemSpec
 
     mesh = (4, 4) if quick else (6, 6)
     config = ChipConfig.variant(*mesh)
-    n = config.n_cores
     workload = {"kind": "benchmark", "name": "blackscholes",
                 "ops_per_core": QUICK["ops_per_core"],
                 "workload_scale": QUICK["workload_scale"],
                 "think_scale": 8.0, "seed": seed}
-    scorpio, ts, uncorq = run_sweep([
+    return [
         SystemSpec(builder="scorpio", config=config, workload=workload,
                    label="scorpio"),
         SystemSpec(builder="timestamp", config=config, workload=workload,
                    label="ts"),
         SystemSpec(builder="uncorq", config=config,
                    workload={"kind": "lone_write"}, label="uncorq"),
-    ])
+    ]
+
+
+def sec2(quick: bool = True, seed: int = 0) -> str:
+    """Sec. 2 critiques quantified: TS buffers and the Uncorq ring."""
+    specs = sec2_specs(quick, seed)
+    n = specs[0].resolved_config().n_cores
+    scorpio, ts, uncorq = run_sweep(specs)
     base = scorpio.runtime
     rows = [["Timestamp Snooping", f"{ts.runtime / base:.3f}",
              f"reorder peak "
-             f"{int(ts.stats['system.reorder_buffer_peak'])}/node"]]
+             f"{int(ts.frame['system.reorder_buffer_peak'])}/node"]]
     rows.append(["Uncorq", f"(lone write: {uncorq.runtime} cy)",
                  f"ring circuit "
-                 f"{int(uncorq.stats['system.ring_traversal_latency'])} cy"])
+                 f"{int(uncorq.frame['system.ring_traversal_latency'])} cy"])
     return _table(["scheme", "runtime vs SCORPIO", "overhead"], rows,
                   f"Sec. 2 critiques measured ({n} cores; paper: 72 TS "
                   f"buffers/node at 36x2, ring wait linear in cores)")
 
 
-def incf(quick: bool = True, seed: int = 0) -> str:
-    """Sec. 5.3 future work: in-network snoop filtering on HT."""
+def incf_specs(quick: bool = True, seed: int = 0):
+    """The (axis, spec) points behind :func:`incf` — exported for the
+    document regression tests."""
     from repro.experiments import SystemSpec
 
     config = _quick_chip(quick)
@@ -335,7 +358,13 @@ def incf(quick: bool = True, seed: int = 0) -> str:
                                   "seed": seed, **QUICK},
                         label=f"incf-{'on' if enabled else 'off'}")
              for name, enabled in axes]
-    flits = {axis: int(result.stats.get("noc.flits.transmitted", 0))
+    return benchmarks, axes, specs
+
+
+def incf(quick: bool = True, seed: int = 0) -> str:
+    """Sec. 5.3 future work: in-network snoop filtering on HT."""
+    benchmarks, axes, specs = incf_specs(quick, seed)
+    flits = {axis: int(result.frame.value("noc.flits.transmitted"))
              for axis, result in zip(axes, run_sweep(specs))}
     rows = []
     for name in benchmarks:
@@ -363,6 +392,25 @@ def fullbit(quick: bool = True, seed: int = 0) -> str:
                   "with 3-4 pointers)")
 
 
+_LOCKS_SYSTEMS = {"SCORPIO": ("scorpio", {}),
+                  "LPD-D": ("directory", {"scheme": "LPD"}),
+                  "HT-D": ("directory", {"scheme": "HT"})}
+
+
+def locks_specs(quick: bool = True, seed: int = 0):
+    """The spec list behind :func:`locks` — exported for the document
+    regression tests (built by the same helper
+    :func:`~repro.analysis.comparison.compare_systems` uses)."""
+    from repro.analysis.comparison import system_specs
+
+    mesh = (3, 3) if quick else (6, 6)
+    return system_specs(_LOCKS_SYSTEMS,
+                        workload={"kind": "locks",
+                                  "acquisitions_per_core": 4,
+                                  "seed": seed + 1},
+                        config=ChipConfig.variant(*mesh))
+
+
 def locks(quick: bool = True, seed: int = 0) -> str:
     """Lock handoff under contention across protocols."""
     from repro.analysis.comparison import compare_systems
@@ -371,14 +419,12 @@ def locks(quick: bool = True, seed: int = 0) -> str:
     config = ChipConfig.variant(*mesh)
     n = config.n_cores
     results = compare_systems(
-        {"SCORPIO": ("scorpio", {}),
-         "LPD-D": ("directory", {"scheme": "LPD"}),
-         "HT-D": ("directory", {"scheme": "HT"})},
+        _LOCKS_SYSTEMS,
         workload={"kind": "locks", "acquisitions_per_core": 4,
                   "seed": seed + 1},
         config=config)
     rows = [[label, str(result.runtime),
-             f"{result.stats.get('l2.miss_latency.cache.mean', 0.0):.1f}"]
+             f"{result.frame.value('l2.miss_latency.cache.mean'):.1f}"]
             for label, result in results.items()]
     return _table(["system", "runtime", "cache-served latency"], rows,
                   f"Lock handoff, {n} cores x 4 acquisitions (broadcast "

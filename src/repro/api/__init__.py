@@ -1,0 +1,60 @@
+"""``repro.api`` — the stable, versioned public surface of the simulator.
+
+Everything re-exported here follows the v1 compatibility contract:
+
+* **Configs are data.**  Every config dataclass round-trips through
+  ``to_dict()`` / ``from_dict()`` (:mod:`repro.core.serialize`) with
+  strict validation and a ``CONFIG_SCHEMA`` version; the round trip
+  preserves experiment fingerprints, so serialized configs share cached
+  results with code-built ones.
+* **Experiments are documents.**  :func:`load_experiment` reads a JSON/
+  TOML :class:`ExperimentSpec` (schema ``DOCUMENT_SCHEMA``) describing
+  runs, sweep matrices, litmus suites and bench harnesses;
+  :func:`run_experiment` executes it through the parallel/cached sweep
+  runner and :func:`describe_experiment` prints the resolved form.
+  The CLI front-ends are ``repro run-file`` and ``repro describe``.
+* **Results are queryable.**  :class:`StatsFrame` is the structured
+  view over any flat stats snapshot (``RunResult.frame``,
+  ``SweepResult.frame``): wildcard selection, histogram accessors,
+  grouped tables and stable JSON export — no string-prefix slicing.
+
+Modules outside this façade (`repro.noc`, `repro.coherence`, the system
+classes, ...) are internals: importable and documented, but free to
+change between versions.  See docs/architecture.md ("The public API")
+and EXPERIMENTS.md ("Experiment documents") for the contract details.
+"""
+
+from repro.analysis.comparison import compare_systems
+from repro.api.document import (DOCUMENT_SCHEMA, RESULTS_SCHEMA,
+                                DocumentError, ExperimentResult,
+                                ExperimentSpec, describe_experiment,
+                                experiment_from_dict, load_experiment,
+                                run_experiment)
+from repro.core.api import (PROTOCOLS, RunResult, compare_protocols,
+                            normalized_runtimes, run_benchmark,
+                            run_trace_file)
+from repro.core.config import ChipConfig
+from repro.core.serialize import (CONFIG_SCHEMA, ConfigFormatError,
+                                  SerializableConfig)
+from repro.experiments import (ResultCache, RunSpec, Sweep, SweepResult,
+                               SystemSpec, builder_names, list_builders,
+                               run_grid, run_sweep)
+from repro.sim.statsframe import StatsFrame
+
+# Version of the repro.api compatibility contract as a whole.  Bumps
+# only on breaking changes to anything exported here; the per-format
+# schema tags (CONFIG_SCHEMA, DOCUMENT_SCHEMA, RESULTS_SCHEMA) version
+# the wire formats independently.
+API_VERSION = 1
+
+__all__ = [
+    "API_VERSION", "CONFIG_SCHEMA", "DOCUMENT_SCHEMA", "RESULTS_SCHEMA",
+    "ChipConfig", "ConfigFormatError", "DocumentError",
+    "ExperimentResult", "ExperimentSpec", "PROTOCOLS", "ResultCache",
+    "RunResult", "RunSpec", "SerializableConfig", "StatsFrame", "Sweep",
+    "SweepResult", "SystemSpec", "builder_names", "compare_protocols",
+    "compare_systems", "describe_experiment", "experiment_from_dict",
+    "list_builders", "load_experiment", "normalized_runtimes",
+    "run_benchmark", "run_experiment", "run_grid", "run_sweep",
+    "run_trace_file",
+]

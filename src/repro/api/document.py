@@ -1,0 +1,570 @@
+"""Experiment documents: declarative, versioned descriptions of runs.
+
+An *experiment document* is a JSON or TOML file that describes a batch
+of simulations as data — the serialized equivalent of hand-building
+:class:`~repro.experiments.spec.RunSpec` /
+:class:`~repro.experiments.builders.SystemSpec` lists in Python.  Loaded
+documents validate strictly (unknown keys, bad types, unknown builders/
+benchmarks/programs all fail at load time) and expand to exactly the
+spec objects the code path builds, so running a document yields
+byte-identical ``SweepResult`` payloads — and warm result-cache hits —
+against the equivalent Python.
+
+Document schema (``DOCUMENT_SCHEMA`` = 1)::
+
+    schema = 1                      # required
+    name = "fig7"                   # required
+    description = "..."             # optional
+
+    [configs.<label>]               # named chip configs
+    preset = "chip_36core"          # chip_36core|chip_64core|
+                                    #   chip_100core|variant
+    width = 4                       # variant-only preset arguments
+    height = 4
+    goreq_vcs = 4
+    [configs.<label>.overrides]     # ChipConfig field overrides
+    directory_cache_bytes = 8192
+    seed = 0
+    [configs.<label>.overrides.noc] # sub-config overrides (noc,
+    channel_width_bytes = 8         #   notification, cache, memory,
+                                    #   core), strictly validated
+
+    [[runs]]                        # explicit run list, in order
+    benchmark = "barnes"            # RunSpec shape (protocol runs), OR
+    protocol = "scorpio"
+    # builder = "inso"              # SystemSpec shape (system runs)
+    # params  = { expiration_window = 20 }
+    # workload = { kind = "benchmark", name = "fft", ... }
+    config = "<label>"              # optional; default chip when absent
+    seed = 0
+    ops_per_core = 60
+    max_cycles = 400000
+    label = "row-1"
+
+    [matrix]                        # benchmark x protocol x seed matrix
+    benchmarks = ["barnes", "lu"]   # (expands after explicit runs)
+    protocols = ["lpd", "scorpio"]
+    seeds = [0]
+    config = "<label>"
+    ops_per_core = 60
+
+    [litmus]                        # SC litmus executions
+    programs = ["message-passing"]  # default: the whole suite
+    protocol = "scorpio"
+    seeds = [0, 1, 2]
+
+    [bench]                         # quiescence-kernel bench harness
+    smoke = true
+    repeats = 1
+
+Versioning rules: ``schema`` must equal :data:`DOCUMENT_SCHEMA`; new
+*optional* keys may be added without a bump (old documents keep
+loading), any change to the meaning of an existing key bumps the
+version.  Unknown keys are always an error — a typo must never become a
+silently ignored (or silently defaulted) experiment parameter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.config import ChipConfig
+from repro.core.serialize import ConfigFormatError
+from repro.core.serialize import from_dict as _config_from_dict
+from repro.core.serialize import to_dict as _config_to_dict
+
+# Version of the experiment-document format (see the module docstring
+# for the bump rules).
+DOCUMENT_SCHEMA = 1
+# Version of the results envelope ``repro run-file --output`` writes.
+RESULTS_SCHEMA = 1
+
+_PRESETS = ("chip_36core", "chip_64core", "chip_100core", "variant")
+_SUBCONFIGS = ("noc", "notification", "cache", "memory", "core")
+
+
+class DocumentError(ValueError):
+    """An experiment document failed validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise DocumentError(message)
+
+
+def _check_keys(data: Mapping[str, Any], known: Sequence[str],
+                what: str) -> None:
+    _require(isinstance(data, Mapping),
+             f"{what} must be a table/object, got {data!r}")
+    unknown = sorted(set(data) - set(known))
+    _require(not unknown,
+             f"{what}: unknown key(s) {unknown}; known: {sorted(known)}")
+
+
+def _get(data: Mapping[str, Any], key: str, types, what: str,
+         default=None, required: bool = False):
+    if key not in data:
+        _require(not required, f"{what}: missing required key {key!r}")
+        return default
+    value = data[key]
+    if types is int and isinstance(value, bool):
+        raise DocumentError(f"{what}.{key} must be an int, got {value!r}")
+    _require(isinstance(value, types),
+             f"{what}.{key} has the wrong type: {value!r}")
+    return value
+
+
+def _int_list(data: Mapping[str, Any], key: str, what: str,
+              default: Sequence[int]) -> List[int]:
+    value = _get(data, key, (list, tuple), what, default=list(default))
+    for item in value:
+        _require(isinstance(item, int) and not isinstance(item, bool),
+                 f"{what}.{key} must be a list of ints, got {item!r}")
+    return list(value)
+
+
+def _str_list(data: Mapping[str, Any], key: str, what: str,
+              default: Optional[Sequence[str]] = None,
+              required: bool = False) -> Optional[List[str]]:
+    value = _get(data, key, (list, tuple), what, default=default,
+                 required=required)
+    if value is None:
+        return None
+    for item in value:
+        _require(isinstance(item, str),
+                 f"{what}.{key} must be a list of strings, got {item!r}")
+    return list(value)
+
+
+# ---------------------------------------------------------------------------
+# Config resolution
+# ---------------------------------------------------------------------------
+
+def _resolve_config(data: Mapping[str, Any], what: str) -> ChipConfig:
+    """Build a ChipConfig from a ``[configs.<label>]`` table."""
+    _check_keys(data, ("preset", "width", "height", "goreq_vcs",
+                       "overrides"), what)
+    preset = _get(data, "preset", str, what, default="chip_36core")
+    _require(preset in _PRESETS,
+             f"{what}: unknown preset {preset!r}; known: {list(_PRESETS)}")
+    if preset == "variant":
+        width = _get(data, "width", int, what, required=True)
+        height = _get(data, "height", int, what, required=True)
+        goreq_vcs = _get(data, "goreq_vcs", int, what, default=4)
+        config = ChipConfig.variant(width, height, goreq_vcs=goreq_vcs)
+    else:
+        for key in ("width", "height", "goreq_vcs"):
+            _require(key not in data,
+                     f"{what}.{key} only applies to the 'variant' preset")
+        config = getattr(ChipConfig, preset)()
+
+    overrides = _get(data, "overrides", Mapping, what, default={})
+    if not overrides:
+        return config
+    _check_keys(overrides, list(_SUBCONFIGS)
+                + ["seed", "directory_cache_bytes", "mc_nodes"],
+                f"{what}.overrides")
+    chip = _config_to_dict(config, schema=False)
+    for key, value in overrides.items():
+        if key in _SUBCONFIGS:
+            _require(isinstance(value, Mapping),
+                     f"{what}.overrides.{key} must be a table")
+            chip[key] = {**chip[key], **value}
+        else:
+            chip[key] = value
+    # A mesh-dimension override invalidates the preset's memory-
+    # controller placement and notification-window bound; recompute
+    # both unless the document pins them (ChipConfig.variant does the
+    # same for preset-level dimensions).
+    noc_override = overrides.get("noc", {})
+    if "width" in noc_override or "height" in noc_override:
+        if "mc_nodes" not in overrides:
+            chip["mc_nodes"] = None
+        notification_override = overrides.get("notification", {})
+        if "window" not in notification_override:
+            from repro.noc.config import NotificationConfig
+            chip["notification"]["window"] = max(
+                chip["notification"]["window"],
+                NotificationConfig.minimum_window(chip["noc"]["width"],
+                                                  chip["noc"]["height"]))
+    try:
+        return ChipConfig.from_dict(chip)
+    except ConfigFormatError as exc:
+        raise DocumentError(f"{what}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Run entries
+# ---------------------------------------------------------------------------
+
+_RUN_KEYS = ("benchmark", "protocol", "builder", "params", "workload",
+             "config", "ops_per_core", "workload_scale", "think_scale",
+             "seed", "max_cycles", "label")
+
+
+def _lookup_config(name: Optional[str],
+                   configs: Mapping[str, ChipConfig],
+                   what: str) -> Optional[ChipConfig]:
+    if name is None:
+        return None
+    _require(name in configs,
+             f"{what}: unknown config {name!r}; defined: {sorted(configs)}")
+    return configs[name]
+
+
+def _resolve_run(data: Mapping[str, Any],
+                 configs: Mapping[str, ChipConfig], what: str):
+    """One ``[[runs]]`` entry -> RunSpec or SystemSpec."""
+    from repro.core.api import PROTOCOLS
+    from repro.experiments import RunSpec, SystemSpec, builder_names
+
+    _check_keys(data, _RUN_KEYS, what)
+    is_benchmark = "benchmark" in data
+    is_system = "builder" in data
+    _require(is_benchmark != is_system,
+             f"{what}: exactly one of 'benchmark' (protocol run) or "
+             f"'builder' (system run) is required")
+    config = _lookup_config(_get(data, "config", str, what), configs, what)
+    label = _get(data, "label", str, what, default="")
+    max_cycles = _get(data, "max_cycles", int, what, default=400_000)
+
+    if is_benchmark:
+        for key in ("params", "workload"):
+            _require(key not in data,
+                     f"{what}.{key} only applies to builder runs")
+        protocol = _get(data, "protocol", str, what, default="scorpio")
+        _require(protocol in PROTOCOLS,
+                 f"{what}: unknown protocol {protocol!r}; known: "
+                 f"{list(PROTOCOLS)}")
+        spec = RunSpec(
+            benchmark=_get(data, "benchmark", str, what, required=True),
+            protocol=protocol,
+            config=config,
+            ops_per_core=_get(data, "ops_per_core", int, what, default=150),
+            workload_scale=float(_get(data, "workload_scale", (int, float),
+                                      what, default=1.0)),
+            think_scale=float(_get(data, "think_scale", (int, float),
+                                   what, default=1.0)),
+            seed=_get(data, "seed", int, what, default=0),
+            max_cycles=max_cycles, label=label)
+        try:
+            spec.resolved_profile()
+        except KeyError as exc:
+            raise DocumentError(f"{what}: {exc.args[0]}") from exc
+        return spec
+
+    for key in ("ops_per_core", "workload_scale", "think_scale", "seed",
+                "protocol"):
+        _require(key not in data,
+                 f"{what}.{key} only applies to benchmark runs (builder "
+                 f"runs carry them inside 'workload'/'params')")
+    builder = _get(data, "builder", str, what, required=True)
+    _require(builder in builder_names(),
+             f"{what}: unknown builder {builder!r}; known: "
+             f"{builder_names()}")
+    spec = SystemSpec(
+        builder=builder, config=config,
+        params=dict(_get(data, "params", Mapping, what, default={})),
+        workload=dict(_get(data, "workload", Mapping, what, default={})),
+        max_cycles=max_cycles, label=label)
+    try:
+        spec.key()          # resolves params + workload: strict checks
+    except (KeyError, ValueError) as exc:
+        raise DocumentError(f"{what}: {exc}") from exc
+    return spec
+
+
+_MATRIX_KEYS = ("benchmarks", "protocols", "seeds", "config", "configs",
+                "ops_per_core", "workload_scale", "think_scale",
+                "max_cycles")
+
+
+def _resolve_matrix(data: Mapping[str, Any],
+                    configs: Mapping[str, ChipConfig], what: str):
+    """A ``[matrix]`` table -> expanded RunSpec list (Sweep order)."""
+    from repro.core.api import PROTOCOLS
+    from repro.experiments import Sweep
+
+    _check_keys(data, _MATRIX_KEYS, what)
+    benchmarks = _str_list(data, "benchmarks", what, required=True)
+    protocols = _str_list(data, "protocols", what, default=["scorpio"])
+    for protocol in protocols:
+        _require(protocol in PROTOCOLS,
+                 f"{what}: unknown protocol {protocol!r}; known: "
+                 f"{list(PROTOCOLS)}")
+    _require("config" not in data or "configs" not in data,
+             f"{what}: give either 'config' or 'configs', not both")
+    if "configs" in data:
+        names = _str_list(data, "configs", what)
+        matrix_configs: Union[None, ChipConfig, Dict[str, ChipConfig]] = {
+            name: _lookup_config(name, configs, what) for name in names}
+    else:
+        matrix_configs = _lookup_config(_get(data, "config", str, what),
+                                        configs, what)
+    sweep = Sweep(
+        benchmarks=benchmarks, protocols=tuple(protocols),
+        configs=matrix_configs,
+        seeds=tuple(_int_list(data, "seeds", what, default=(0,))),
+        ops_per_core=_get(data, "ops_per_core", int, what, default=150),
+        workload_scale=float(_get(data, "workload_scale", (int, float),
+                                  what, default=1.0)),
+        think_scale=float(_get(data, "think_scale", (int, float), what,
+                               default=1.0)),
+        max_cycles=_get(data, "max_cycles", int, what, default=400_000))
+    specs = sweep.expand()
+    for spec in specs:
+        try:
+            spec.resolved_profile()
+        except KeyError as exc:
+            raise DocumentError(f"{what}: {exc.args[0]}") from exc
+    return specs
+
+
+_LITMUS_KEYS = ("programs", "protocol", "seeds", "width", "height",
+                "max_cycles")
+
+
+def _resolve_litmus(data: Mapping[str, Any], what: str):
+    """A ``[litmus]`` table -> (program, spec) pairs, suite order."""
+    from repro.verification.litmus import ALL_LITMUS, litmus_spec
+
+    _check_keys(data, _LITMUS_KEYS, what)
+    by_name = {program.name: program for program in ALL_LITMUS}
+    names = _str_list(data, "programs", what, default=sorted(by_name))
+    for name in names:
+        _require(name in by_name,
+                 f"{what}: unknown litmus program {name!r}; known: "
+                 f"{sorted(by_name)}")
+    protocol = _get(data, "protocol", str, what, default="scorpio")
+    seeds = _int_list(data, "seeds", what, default=(0, 1, 2))
+    kwargs = {}
+    for key, default in (("width", 3), ("height", 3),
+                         ("max_cycles", 100_000)):
+        kwargs[key] = _get(data, key, int, what, default=default)
+    return [(by_name[name],
+             litmus_spec(by_name[name], protocol=protocol, seed=seed,
+                         **kwargs))
+            for name in names for seed in seeds]
+
+
+_BENCH_KEYS = ("smoke", "repeats")
+
+
+def _resolve_bench(data: Mapping[str, Any], what: str) -> Dict[str, Any]:
+    _check_keys(data, _BENCH_KEYS, what)
+    return {"smoke": _get(data, "smoke", bool, what, default=False),
+            "repeats": _get(data, "repeats", int, what, default=1)}
+
+
+# ---------------------------------------------------------------------------
+# The document
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentSpec:
+    """A fully resolved, validated experiment document.
+
+    ``specs`` holds the expanded run list in document order (explicit
+    ``[[runs]]``, then the ``[matrix]`` expansion, then the ``[litmus]``
+    executions); ``litmus_checks`` maps litmus programs to the indices
+    of their executions in ``specs`` so results can be SC-judged.
+    """
+
+    name: str
+    description: str = ""
+    source: Optional[str] = None
+    configs: Dict[str, ChipConfig] = field(default_factory=dict)
+    specs: List[Any] = field(default_factory=list)
+    litmus_checks: List[Tuple[Any, int]] = field(default_factory=list)
+    bench: Optional[Dict[str, Any]] = None
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def resolved(self, fingerprints: bool = False) -> Dict[str, Any]:
+        """The canonical resolved document: every run fully expanded
+        (config, workload, params), ready to print or diff.  With
+        ``fingerprints=True`` each run also carries its content hash
+        (this reads and hashes the simulator sources once)."""
+        from repro.experiments import RunSpec
+        from repro.experiments.cache import code_version
+        version = code_version() if fingerprints else None
+        runs = []
+        for spec in self.specs:
+            entry = {"kind": ("benchmark" if isinstance(spec, RunSpec)
+                              else "system"),
+                     "label": spec.label, **spec.key()}
+            if fingerprints:
+                entry["fingerprint"] = spec.fingerprint(
+                    code_version=version)
+            runs.append(entry)
+        document: Dict[str, Any] = {
+            "schema": DOCUMENT_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "runs": runs,
+        }
+        if self.litmus_checks:
+            document["litmus_programs"] = sorted(
+                {program.name for program, _ in self.litmus_checks})
+        if self.bench is not None:
+            document["bench"] = dict(self.bench)
+        return document
+
+
+_DOCUMENT_KEYS = ("schema", "name", "description", "configs", "runs",
+                  "matrix", "litmus", "bench")
+
+
+def experiment_from_dict(data: Mapping[str, Any],
+                         source: Optional[str] = None) -> ExperimentSpec:
+    """Validate and resolve a parsed document dict (the shared core of
+    :func:`load_experiment`)."""
+    what = source or "experiment"
+    _check_keys(data, _DOCUMENT_KEYS, what)
+    schema = _get(data, "schema", int, what, required=True)
+    _require(schema == DOCUMENT_SCHEMA,
+             f"{what}: unsupported document schema {schema!r} (this "
+             f"simulator reads schema {DOCUMENT_SCHEMA})")
+    name = _get(data, "name", str, what, required=True)
+
+    configs_raw = _get(data, "configs", Mapping, what, default={})
+    configs = {label: _resolve_config(table, f"{what}.configs.{label}")
+               for label, table in configs_raw.items()}
+
+    specs: List[Any] = []
+    runs_raw = _get(data, "runs", (list, tuple), what, default=[])
+    for index, entry in enumerate(runs_raw):
+        specs.append(_resolve_run(entry, configs,
+                                  f"{what}.runs[{index}]"))
+    if "matrix" in data:
+        specs.extend(_resolve_matrix(data["matrix"], configs,
+                                     f"{what}.matrix"))
+    litmus_checks: List[Tuple[Any, int]] = []
+    if "litmus" in data:
+        for program, spec in _resolve_litmus(data["litmus"],
+                                             f"{what}.litmus"):
+            litmus_checks.append((program, len(specs)))
+            specs.append(spec)
+    bench = (_resolve_bench(data["bench"], f"{what}.bench")
+             if "bench" in data else None)
+    _require(bool(specs) or bench is not None,
+             f"{what}: document describes no work (needs runs, a "
+             f"matrix, a litmus table, or a bench table)")
+    return ExperimentSpec(name=name,
+                          description=_get(data, "description", str, what,
+                                           default=""),
+                          source=source, configs=configs, specs=specs,
+                          litmus_checks=litmus_checks, bench=bench)
+
+
+def _parse_toml(text: str, what: str) -> Dict[str, Any]:
+    try:
+        import tomllib
+    except ImportError:   # pragma: no cover - Python < 3.11
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            raise DocumentError(
+                f"{what}: TOML documents need Python >= 3.11 (tomllib) "
+                f"or the 'tomli' package; use the JSON form instead"
+            ) from None
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise DocumentError(f"{what}: invalid TOML: {exc}") from exc
+
+
+def load_experiment(path) -> ExperimentSpec:
+    """Load, validate and resolve an experiment document (``.toml`` or
+    ``.json``, decided by extension)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DocumentError(f"cannot read {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        data = _parse_toml(text, str(path))
+    else:
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise DocumentError(f"{path}: invalid JSON: {exc}") from exc
+    return experiment_from_dict(data, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentResult:
+    """Everything one document run produced."""
+
+    experiment: ExperimentSpec
+    results: List[Any] = field(default_factory=list)
+    litmus_verdicts: Dict[str, bool] = field(default_factory=dict)
+    bench_report: Optional[Dict[str, Any]] = None
+
+    def payload(self) -> Dict[str, Any]:
+        """The stable results envelope ``repro run-file --output``
+        writes: a schema tag, the document identity, one canonical
+        ``SweepResult`` payload per run (cache-invariant), and the SC
+        verdicts for litmus documents."""
+        out: Dict[str, Any] = {
+            "schema": RESULTS_SCHEMA,
+            "experiment": self.experiment.name,
+            "description": self.experiment.description,
+            "results": [result.payload() for result in self.results],
+        }
+        if self.litmus_verdicts:
+            out["litmus"] = dict(sorted(self.litmus_verdicts.items()))
+        if self.bench_report is not None:
+            out["bench"] = self.bench_report
+        return out
+
+
+def run_experiment(experiment: Union[ExperimentSpec, str, Path],
+                   jobs: Optional[int] = None,
+                   cache=None) -> ExperimentResult:
+    """Execute an experiment document (or its path) through the sweep
+    runner; ``jobs``/``cache`` default to the process execution context
+    exactly like :func:`~repro.experiments.sweep.run_sweep`."""
+    from repro.experiments import run_sweep
+    if not isinstance(experiment, ExperimentSpec):
+        experiment = load_experiment(experiment)
+    results = run_sweep(experiment.specs, jobs=jobs, cache=cache) \
+        if experiment.specs else []
+
+    verdicts: Dict[str, bool] = {}
+    if experiment.litmus_checks:
+        from repro.verification.litmus import (Observation,
+                                               is_sequentially_consistent)
+        for program, index in experiment.litmus_checks:
+            observations = [Observation(*row) for row
+                            in results[index].extra["observations"]]
+            ok = is_sequentially_consistent(program, observations)
+            verdicts[program.name] = verdicts.get(program.name, True) and ok
+
+    bench_report = None
+    if experiment.bench is not None:
+        from repro.experiments.bench import run_bench
+        bench_report = run_bench(smoke=experiment.bench["smoke"],
+                                 repeats=experiment.bench["repeats"])
+    return ExperimentResult(experiment=experiment, results=results,
+                            litmus_verdicts=verdicts,
+                            bench_report=bench_report)
+
+
+def describe_experiment(experiment: Union[ExperimentSpec, str, Path],
+                        fingerprints: bool = False,
+                        indent: int = 2) -> str:
+    """The resolved, validated document as stable JSON text — what
+    ``repro describe <path>`` prints."""
+    if not isinstance(experiment, ExperimentSpec):
+        experiment = load_experiment(experiment)
+    return json.dumps(experiment.resolved(fingerprints=fingerprints),
+                      sort_keys=True, indent=indent)

@@ -9,7 +9,14 @@ Commands:
   experiment orchestrator: ``--jobs N`` fans runs out across processes,
   ``--cache-dir`` recalls previously computed points;
   ``--list-builders`` prints the registered system builders that
-  ``SystemSpec`` sweeps (and the figure harnesses) can target.
+  ``SystemSpec`` sweeps (and the figure harnesses) can target, with
+  each builder's accepted params/defaults and the declarative workload
+  kinds.
+* ``run-file`` — execute an experiment document (TOML/JSON; see
+  EXPERIMENTS.md and ``examples/experiments/``) through the same
+  orchestrator; ``--output`` writes the stable results envelope.
+* ``describe`` — validate an experiment document and print its fully
+  resolved form (expanded configs, workloads, params) as JSON.
 * ``figure`` — regenerate a paper table/figure (see ``--list``).
 * ``report`` — render a set of figures into a results directory.
 * ``trace`` — run an external trace file (the Graphite-traces flow).
@@ -110,6 +117,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_regime_options(sweep_p)
     add_executor_options(sweep_p)
 
+    run_file_p = sub.add_parser(
+        "run-file", help="run an experiment document (TOML/JSON)")
+    run_file_p.add_argument("path")
+    run_file_p.add_argument("--output", default=None,
+                            help="write the results envelope as JSON")
+    add_executor_options(run_file_p)
+
+    describe_p = sub.add_parser(
+        "describe", help="validate an experiment document and print the "
+                         "resolved form")
+    describe_p.add_argument("path")
+    describe_p.add_argument("--fingerprints", action="store_true",
+                            help="include each run's content fingerprint "
+                                 "(hashes the simulator sources once)")
+
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("id", nargs="?", help="figure id (e.g. fig6a)")
     fig_p.add_argument("--list", action="store_true",
@@ -202,15 +224,25 @@ def cmd_compare(args, out) -> int:
 def cmd_sweep(args, out) -> int:
     from repro.experiments import Sweep, as_cache, get_context, run_sweep
     if args.list_builders:
-        from repro.experiments import list_builders
-        print("registered system builders:", file=out)
+        from repro.experiments import list_builders, workload_kinds
+
+        def render(params) -> str:
+            if not params:
+                return "(none)"
+            return ", ".join(f"{key}={value!r}"
+                             for key, value in sorted(params.items()))
+
+        print("registered system builders (SystemSpec / document "
+              "'builder' targets):", file=out)
         for name, description, defaults in list_builders():
             print(f"  {name:<12} {description}", file=out)
-            if defaults:
-                rendered = ", ".join(f"{key}={value!r}"
-                                     for key, value in sorted(
-                                         defaults.items()))
-                print(f"  {'':<12} params: {rendered}", file=out)
+            print(f"  {'':<12} params: {render(defaults)}", file=out)
+        print("declarative workload kinds (document 'workload' tables):",
+              file=out)
+        for kind, defaults in workload_kinds():
+            print(f"  {kind:<12} {render(defaults)}", file=out)
+        print("params marked <required> must be supplied; all others "
+              "show their defaults.", file=out)
         return 0
     if not args.benchmarks:
         print("error: sweep needs at least one benchmark "
@@ -244,6 +276,63 @@ def cmd_sweep(args, out) -> int:
         print(f"cache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.directory})", file=out)
     return 0 if incomplete == 0 else 1
+
+
+def cmd_run_file(args, out) -> int:
+    import json as _json
+
+    from repro.api import DocumentError, load_experiment, run_experiment
+    from repro.experiments import as_cache, get_context
+    try:
+        experiment = load_experiment(args.path)
+    except DocumentError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    cache = as_cache(args.cache_dir) if args.cache_dir \
+        else get_context().cache
+    outcome = run_experiment(experiment, jobs=args.jobs, cache=cache)
+    print(f"experiment: {experiment.name} "
+          f"({len(outcome.results)} runs)", file=out)
+    failures = 0
+    if outcome.results:
+        header = f"{'label':<14}{'benchmark':<16}{'protocol':<10}" \
+                 f"{'seed':>5}{'runtime':>10}  {'progress':>8}  source"
+        print(header, file=out)
+        print("-" * len(header), file=out)
+        for res in outcome.results:
+            if res.progress < 1.0:
+                failures += 1
+            print(f"{res.label:<14}{res.benchmark:<16}{res.protocol:<10}"
+                  f"{res.seed:>5}{res.runtime:>10}  {res.progress:>8.1%}  "
+                  f"{'cache' if res.cached else 'run'}", file=out)
+    for name, passed in sorted(outcome.litmus_verdicts.items()):
+        if not passed:
+            failures += 1
+        print(f"litmus {name:<24} "
+              f"{'ok' if passed else 'FORBIDDEN OUTCOME OBSERVED'}",
+              file=out)
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.directory})", file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _json.dump(outcome.payload(), handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+        print(f"results -> {args.output}", file=out)
+    return 0 if failures == 0 else 1
+
+
+def cmd_describe(args, out) -> int:
+    from repro.api import DocumentError, describe_experiment
+    try:
+        print(describe_experiment(args.path,
+                                  fingerprints=args.fingerprints),
+              file=out)
+    except DocumentError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    return 0
 
 
 def cmd_figure(args, out) -> int:
@@ -336,6 +425,8 @@ COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "run-file": cmd_run_file,
+    "describe": cmd_describe,
     "figure": cmd_figure,
     "report": cmd_report,
     "trace": cmd_trace,

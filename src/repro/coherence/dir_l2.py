@@ -109,22 +109,62 @@ class DirectoryL2Controller(L2Controller):
         # FID list.  But while we still hold a stable owner copy (e.g. an
         # ownership upgrade in flight), we keep serving snoops: the home
         # ordered those before our upgrade, and deferring them would
-        # create three-way deferral cycles.  Pure invalidations always
-        # apply immediately (they only downgrade non-owner copies).
+        # create three-way deferral cycles.  Invalidations targeting a
+        # line with an in-flight request are op-dependent: deferred past
+        # completion for a read (they may postdate our serialization),
+        # applied immediately for a write (the home only invalidates
+        # sharers, so they must predate our ownership grant).
         req = payload.request
-        if payload.action in ("fwd_data", "snoop") \
+        if payload.action in ("fwd_data", "snoop", "invalidate") \
                 and req.requester != self.node \
                 and not self._stable_owner(req.addr):
             req_id = self._mshr_by_addr.get(req.addr)
             if req_id is not None:
                 mshr = self.mshrs[req_id]
                 if payload.action == "snoop" and not mshr.marker_seen:
-                    # This snoop left the home before our request was
-                    # serialized: it concerns the pre-acquisition state
-                    # and must be processed now, not after completion.
-                    self._handle_snoop(payload, cycle, arrival_cycle)
+                    # Pre-marker snoop: the mesh may deliver two
+                    # broadcasts from the same home out of order, so
+                    # arrival before our marker does NOT mean the snoop
+                    # was serialized before our request — processing it
+                    # against the pre-acquisition state could leave a
+                    # stale copy alive next to the new owner.
+                    if self.requires_marker:
+                        # A marker is guaranteed (every HT request
+                        # broadcasts): park and classify by sequence
+                        # number when it lands.  Parked snoops share
+                        # the FID budget with the deferral list — at
+                        # marker time they may move onto it wholesale.
+                        if (len(mshr.pre_marker) + len(mshr.deferred)
+                                < self.config.fid_list_size):
+                            mshr.pre_marker.append(payload)
+                            self.stats.incr("l2.snoops.parked")
+                        else:
+                            self._ordered_queue.appendleft(
+                                (payload, sid, cycle, arrival_cycle))
+                            self.stats.incr("l2.snoops.fid_stall")
+                        return
+                    if mshr.op == "W":
+                        # LPD write in flight: once our GETX serializes
+                        # the home unicasts fwd_data to us, it never
+                        # broadcasts — so a broadcast reaching us here
+                        # predates our serialization and concerns the
+                        # pre-acquisition state.
+                        self._handle_snoop(payload, cycle, arrival_cycle)
+                        return
+                    # LPD read in flight, no marker coming: apply after
+                    # completion.  If the snoop actually predated our
+                    # read this drops a clean just-fetched copy — always
+                    # coherent, merely conservative.
+                elif payload.action == "invalidate" and mshr.op == "W":
+                    # An invalidation targets a *sharer* listing; once
+                    # our GETX is serialized the home lists us as owner
+                    # and sends fwd_data instead.  So this invalidate
+                    # predates our serialization: apply to the old copy
+                    # now, never to the M we are about to install.
+                    self._handle_invalidate(payload, cycle, arrival_cycle)
                     return
-                if len(mshr.deferred) < self.config.fid_list_size:
+                if (len(mshr.deferred) + len(mshr.pre_marker)
+                        < self.config.fid_list_size):
                     mshr.deferred.append(payload)
                     self.stats.incr("l2.snoops.deferred")
                 else:
@@ -219,6 +259,19 @@ class DirectoryL2Controller(L2Controller):
             if mshr is None:
                 return
             mshr.marker_seen = True
+            # The marker carries our serialization sequence: classify
+            # every parked snoop against it.  Earlier-serialized snoops
+            # concern the pre-acquisition state and run now (nothing is
+            # installed yet — completion waits for the marker);
+            # later-serialized ones must see the line we are about to
+            # install, so they join the post-completion deferral list.
+            parked, mshr.pre_marker = mshr.pre_marker, []
+            for early in parked:
+                if 0 <= early.seq < fwd.seq:
+                    self._handle_snoop(early, cycle, arrival_cycle)
+                else:
+                    mshr.deferred.append(early)
+                    self.stats.incr("l2.snoops.deferred")
             if req.kind is ReqKind.GETX \
                     and self.array.state_of(req.addr).is_owner:
                 # Ownership upgrade: no data will come.

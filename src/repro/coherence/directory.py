@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.cache.array import CacheArray
+from repro.core.serialize import SerializableConfig
 from repro.coherence.messages import (CoherenceRequest, CoherenceResponse,
                                       DirForward, MemRead, ReqKind, RespKind)
 from repro.nic.controller import NetworkInterface
@@ -39,7 +40,7 @@ from repro.sim.stats import StatsRegistry
 
 
 @dataclass
-class DirectoryConfig:
+class DirectoryConfig(SerializableConfig):
     """Parameters shared by both directory baselines."""
 
     scheme: str = "LPD"            # "LPD", "FULLBIT" or "HT"
@@ -102,6 +103,10 @@ class DirectoryController(Clocked):
         self._queue: Deque[Tuple[CoherenceRequest, int, int]] = deque()
         self._outbox: Deque[Tuple[int, Any, Optional[int]]] = deque()
         self._next_free = 0
+        # Serialization counter stamped on broadcast snoops (seq on
+        # DirForward): lets requesters order a remote snoop against
+        # their own returning broadcast when the mesh reorders them.
+        self._bcast_seq = 0
         nic.add_request_listener(self._on_request)
 
     # ------------------------------------------------------------------
@@ -244,7 +249,9 @@ class DirectoryController(Clocked):
         # bit and the ordering point; see DESIGN.md).
         memory_owns = not entry.overflow
         fwd = DirForward(request=req, action="snoop", home=self.node,
-                         sent_cycle=cycle, stamps=dict(home_stamps))
+                         sent_cycle=cycle, stamps=dict(home_stamps),
+                         seq=self._bcast_seq)
+        self._bcast_seq += 1
         self._send_forward(fwd, None, cycle)  # broadcast to every core
         if memory_owns:
             self._to_memory(req, cycle, home_stamps)
@@ -269,7 +276,9 @@ class DirectoryController(Clocked):
         # GETX: invalidate all sharers, get data from the owner/memory.
         if entry.overflow:
             fwd = DirForward(request=req, action="snoop", home=self.node,
-                             sent_cycle=cycle, stamps=dict(home_stamps))
+                             sent_cycle=cycle, stamps=dict(home_stamps),
+                             seq=self._bcast_seq)
+            self._bcast_seq += 1
             self._send_forward(fwd, None, cycle)
             self.stats.incr("dir.lpd_broadcasts")
             if entry.owner is None:

@@ -29,13 +29,14 @@ from repro.coherence.messages import (CoherenceRequest, CoherenceResponse,
                                       ReqKind, RespKind)
 from repro.coherence.mosi import (Action, State, needs_data_for_write,
                                   on_remote_request, request_for)
+from repro.core.serialize import SerializableConfig
 from repro.nic.controller import NetworkInterface
 from repro.sim.engine import Clocked
 from repro.sim.stats import StatsRegistry
 
 
 @dataclass
-class CacheConfig:
+class CacheConfig(SerializableConfig):
     """Per-tile cache hierarchy parameters (Table 1 defaults)."""
 
     l2_size: int = 128 * 1024
@@ -80,6 +81,12 @@ class Mshr:
     resp_stamps: Dict[str, int] = field(default_factory=dict)
     resp_version: int = 0
     deferred: List[CoherenceRequest] = field(default_factory=list)
+    # Directory broadcast schemes: remote snoops that arrived before our
+    # own broadcast returned (the marker).  Arrival order cannot tell
+    # whether they were serialized before or after our request, so they
+    # park here and are classified by sequence number when the marker
+    # lands (see DirectoryL2Controller._process_ordered).
+    pre_marker: List[Any] = field(default_factory=list)
 
 
 @dataclass

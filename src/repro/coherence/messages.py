@@ -93,6 +93,13 @@ class DirForward:
     home: int                     # the directory node that forwarded it
     sent_cycle: int = -1
     stamps: Dict[str, int] = field(default_factory=dict)
+    # Home-serialization sequence number, stamped on broadcast snoops
+    # (monotone per home controller).  The mesh does not deliver two
+    # broadcasts from the same home in order, so a requester cannot use
+    # *arrival* order to decide whether a remote snoop was serialized
+    # before or after its own in-flight request — it compares seq
+    # against the seq its own returning broadcast (the marker) carries.
+    seq: int = -1
 
     @property
     def addr(self) -> int:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.core.config import ChipConfig
+from repro.sim.statsframe import StatsFrame
 from repro.systems.directory import DirectorySystem
 from repro.systems.scorpio import ScorpioSystem
 from repro.workloads.suites import profile as lookup_profile
@@ -28,7 +29,14 @@ PROTOCOLS = ("scorpio", "lpd", "ht", "fullbit")
 
 @dataclass
 class RunResult:
-    """Outcome of one full-system run."""
+    """Outcome of one full-system run.
+
+    ``stats`` is the raw flat snapshot (kept for payload compatibility);
+    :attr:`frame` is the structured query interface over it — new code
+    should read stats through the frame rather than prefix-slicing the
+    dict.  The named latency properties and :meth:`breakdown` remain as
+    stable shims, themselves implemented on the frame.
+    """
 
     protocol: str
     benchmark: str
@@ -39,23 +47,30 @@ class RunResult:
     stats: Dict[str, float] = field(default_factory=dict)
 
     @property
+    def frame(self) -> StatsFrame:
+        """Queryable :class:`~repro.sim.statsframe.StatsFrame` over
+        :attr:`stats` (cached; rebuilt if ``stats`` is reassigned)."""
+        frame = self.__dict__.get("_frame")
+        if frame is None or frame._stats is not self.stats:
+            frame = StatsFrame(self.stats)
+            self.__dict__["_frame"] = frame
+        return frame
+
+    @property
     def avg_l2_service_latency(self) -> float:
-        return self.stats.get("l2.miss_latency.mean", 0.0)
+        return self.frame.value("l2.miss_latency.mean")
 
     @property
     def cache_served_latency(self) -> float:
-        return self.stats.get("l2.miss_latency.cache.mean", 0.0)
+        return self.frame.value("l2.miss_latency.cache.mean")
 
     @property
     def memory_served_latency(self) -> float:
-        return self.stats.get("l2.miss_latency.memory.mean", 0.0)
+        return self.frame.value("l2.miss_latency.memory.mean")
 
     def breakdown(self, served: str = "cache") -> Dict[str, float]:
         """Latency decomposition (Fig. 6b/6c categories) in mean cycles."""
-        prefix = f"l2.breakdown.{served}."
-        return {key[len(prefix):-len(".mean")]: value
-                for key, value in self.stats.items()
-                if key.startswith(prefix) and key.endswith(".mean")}
+        return self.frame.relative_to(f"l2.breakdown.{served}.").mean
 
 
 def build_system(protocol: str, traces, config: Optional[ChipConfig] = None

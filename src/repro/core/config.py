@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.coherence.l2_controller import CacheConfig
+from repro.core.serialize import SerializableConfig
 from repro.cpu.core import CoreConfig
 from repro.memory.controller import MemoryConfig
 from repro.noc.config import NocConfig, NotificationConfig
@@ -46,8 +47,15 @@ CHIP_FEATURES: Dict[str, str] = {
 
 
 @dataclass
-class ChipConfig:
-    """All subsystem parameters for one simulated chip."""
+class ChipConfig(SerializableConfig):
+    """All subsystem parameters for one simulated chip.
+
+    Serializes canonically via :meth:`to_dict` / :meth:`from_dict`
+    (:mod:`repro.core.serialize`): the round-trip is validated strictly
+    and preserves experiment fingerprints, so a config shipped through
+    an experiment document hits the same result-cache entries as the
+    code-built original.
+    """
 
     noc: NocConfig = field(default_factory=NocConfig)
     notification: NotificationConfig = field(

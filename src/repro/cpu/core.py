@@ -18,13 +18,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cache.l1 import L1Cache
 from repro.coherence.l2_controller import L2Controller
+from repro.core.serialize import SerializableConfig
 from repro.cpu.trace import Trace, TraceOp
 from repro.sim.engine import Clocked
 from repro.sim.stats import StatsRegistry
 
 
 @dataclass
-class CoreConfig:
+class CoreConfig(SerializableConfig):
     max_outstanding: int = 2     # AHB: one D-side + one I-side transaction
     l1_enabled: bool = True
     l1_latency: int = 2

@@ -18,7 +18,7 @@ from repro.experiments.builders import (SystemBuilder, SystemRunOutcome,
                                         SystemSpec, builder_names,
                                         execute_system_spec, get_builder,
                                         list_builders, register_builder,
-                                        resolve_workload)
+                                        resolve_workload, workload_kinds)
 from repro.experiments.cache import ResultCache, as_cache, code_version
 from repro.experiments.context import (ExecutionContext, configure,
                                        executing, get_context)
@@ -33,4 +33,5 @@ __all__ = [
     "executing", "execute_spec", "execute_system_spec", "get_builder",
     "get_context", "list_builders", "profile_to_dict", "register_builder",
     "resolve_workload", "run_grid", "run_sweep", "sweep_compare",
+    "workload_kinds",
 ]

@@ -237,6 +237,14 @@ def list_builders() -> List[Tuple[str, str, Dict[str, Any]]]:
             for name in builder_names()]
 
 
+def workload_kinds() -> List[Tuple[str, Dict[str, Any]]]:
+    """(kind, param defaults) rows for the declarative workloads a
+    ``SystemSpec`` (or experiment document) may name; ``<required>``
+    marks parameters the caller must supply."""
+    return [(kind, dict(WORKLOAD_KINDS[kind]))
+            for kind in sorted(WORKLOAD_KINDS)]
+
+
 # ---------------------------------------------------------------------------
 # SystemSpec
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.api import RunResult, run_benchmark
 from repro.core.config import ChipConfig
+from repro.sim.statsframe import StatsFrame
 from repro.experiments.builders import (SystemRunOutcome, SystemSpec,
                                         execute_system_spec)
 from repro.experiments.cache import ResultCache, as_cache, code_version
@@ -64,6 +65,17 @@ class SweepResult:
     extra: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
     cached: bool = False
+
+    @property
+    def frame(self) -> StatsFrame:
+        """Queryable :class:`~repro.sim.statsframe.StatsFrame` over
+        :attr:`stats` — the structured alternative to prefix-slicing
+        (cached; rebuilt if ``stats`` is reassigned)."""
+        frame = self.__dict__.get("_frame")
+        if frame is None or frame._stats is not self.stats:
+            frame = StatsFrame(self.stats)
+            self.__dict__["_frame"] = frame
+        return frame
 
     def payload(self) -> Dict[str, Any]:
         """The canonical cacheable form.

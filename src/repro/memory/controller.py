@@ -22,13 +22,15 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.coherence.messages import (CoherenceRequest, CoherenceResponse,
                                       MemRead, ReqKind, RespKind)
+from repro.core.serialize import SerializableConfig
+from repro.memory.dram import DramConfig
 from repro.nic.controller import NetworkInterface
 from repro.sim.engine import Clocked
 from repro.sim.stats import StatsRegistry
 
 
 @dataclass
-class MemoryConfig:
+class MemoryConfig(SerializableConfig):
     lookup_latency: int = 10      # owner-bit / directory-cache access
     dram_latency: int = 80        # off-chip access beyond the lookup
     line_size: int = 32
@@ -37,6 +39,10 @@ class MemoryConfig:
     # to DramConfig defaults when left None.
     banked: bool = False
     dram_config: Optional[object] = None
+
+    # The loose ``object`` annotation avoided committing the public
+    # config surface to the DRAM model; serialization pins it down.
+    __serialize_nested__ = {"dram_config": DramConfig}
 
 
 def make_memory_map(mc_nodes: List[int],

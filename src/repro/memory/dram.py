@@ -23,11 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.serialize import SerializableConfig
 from repro.sim.stats import StatsRegistry
 
 
 @dataclass
-class DramConfig:
+class DramConfig(SerializableConfig):
     """DDR2-style timing, in core cycles (833 MHz core vs DDR2-800)."""
 
     n_banks: int = 8

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.serialize import SerializableConfig
 from repro.noc.packet import data_packet_flits
 
 
 @dataclass
-class NocConfig:
+class NocConfig(SerializableConfig):
     """Parameters of the SCORPIO main network."""
 
     width: int = 6
@@ -69,7 +70,7 @@ class NocConfig:
 
 
 @dataclass
-class NotificationConfig:
+class NotificationConfig(SerializableConfig):
     """Parameters of the notification network (Sec. 3.3).
 
     ``bits_per_core`` encodes how many requests a core may announce per

@@ -7,19 +7,50 @@ reads them back to produce the rows/series the paper reports.
 
 from __future__ import annotations
 
+import random
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional
 
+# Default bound on retained histogram samples.  Long simulations observe
+# one latency sample per request — unbounded retention made a histogram
+# the only simulator structure whose memory grew linearly with simulated
+# time.  Count/total/min/max/mean stay exact at any cap; only
+# :meth:`Histogram.percentile` becomes an approximation once more than
+# ``cap`` samples arrive (computed over a uniform reservoir).  Set a cap
+# of 0 (or pass ``cap=0``) to retain everything.
+DEFAULT_SAMPLE_CAP = 4096
+
 
 class Histogram:
-    """A simple sample accumulator with summary statistics."""
+    """A sample accumulator with summary statistics.
 
-    def __init__(self) -> None:
+    Exact ``count``/``total``/``mean``/``minimum``/``maximum`` for every
+    sample ever added; the raw samples backing :meth:`percentile` are
+    bounded by *cap* via deterministic reservoir sampling (Vitter's
+    algorithm R with a fixed-seed RNG, so identical add sequences keep
+    identical reservoirs in every process — parallel sweeps stay
+    bit-identical to serial ones).
+    """
+
+    def __init__(self, cap: Optional[int] = None) -> None:
         self._count = 0
         self._total = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
         self._samples: List[float] = []
+        self._offered = 0            # samples ever offered to the reservoir
+        self._cap = DEFAULT_SAMPLE_CAP if cap is None else cap
+        self._rng = random.Random(0x5C0_B10) if self._cap > 0 else None
+
+    def _offer(self, value: float) -> None:
+        """Reservoir update (algorithm R), independent of the summary."""
+        self._offered += 1
+        if self._cap <= 0 or len(self._samples) < self._cap:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self._offered)
+            if slot < self._cap:
+                self._samples[slot] = value
 
     def add(self, value: float) -> None:
         self._count += 1
@@ -28,7 +59,26 @@ class Histogram:
             self._min = value
         if self._max is None or value > self._max:
             self._max = value
-        self._samples.append(value)
+        self._offer(value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* in: count/total/min/max stay exact; the merged
+        reservoir draws from the union of both retained sample sets."""
+        self._count += other._count
+        self._total += other._total
+        if other._min is not None and (self._min is None
+                                       or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None
+                                       or other._max > self._max):
+            self._max = other._max
+        for sample in other.samples():
+            self._offer(sample)
+
+    def samples(self) -> List[float]:
+        """The retained samples (all of them below the cap, a uniform
+        reservoir beyond it)."""
+        return list(self._samples)
 
     @property
     def count(self) -> int:
@@ -51,7 +101,11 @@ class Histogram:
         return self._max
 
     def percentile(self, p: float) -> float:
-        """Return the *p*-th percentile (0..100) of the observed samples."""
+        """Return the *p*-th percentile (0..100) of the observed samples.
+
+        Exact while at most ``cap`` samples have been added; beyond
+        that, computed over the uniform reservoir (a sampling
+        approximation whose error shrinks with the cap)."""
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
@@ -107,15 +161,24 @@ class StatsRegistry:
         return hist.mean if hist else 0.0
 
     def merge(self, other: "StatsRegistry") -> None:
-        """Fold *other*'s counters/histograms into this registry."""
+        """Fold *other*'s counters/histograms into this registry.
+
+        Histogram summary statistics (count/total/mean/min/max) merge
+        exactly even when either side exceeded its sample cap; only the
+        percentile reservoir is approximate."""
         for name, value in other.counters.items():
             self.counters[name] += value
         for name, hist in other.histograms.items():
-            mine = self.histograms[name]
-            for sample in hist._samples:
-                mine.add(sample)
+            self.histograms[name].merge(hist)
         self.gauges.update(other.gauges)
         self.meta.update(other.meta)
+
+    def frame(self, prefixes: Optional[Iterable[str]] = None):
+        """A queryable :class:`~repro.sim.statsframe.StatsFrame` over
+        :meth:`snapshot` — the structured alternative to prefix-slicing
+        the flat dict."""
+        from repro.sim.statsframe import StatsFrame
+        return StatsFrame(self.snapshot(prefixes))
 
     def snapshot(self, prefixes: Optional[Iterable[str]] = None) -> Dict[str, float]:
         """Flatten counters and histogram means into a plain dict."""

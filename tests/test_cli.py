@@ -114,10 +114,130 @@ class TestListBuilders:
             assert name in text
         assert "expiration_window=20" in text
 
+    def test_lists_params_for_every_builder(self):
+        """Each builder row must introspect its accepted params (or say
+        '(none)') so users never have to read builders.py."""
+        from repro.experiments import list_builders
+        code, text = run_cli("sweep", "--list-builders")
+        assert code == 0
+        assert text.count("params:") == len(list_builders())
+        assert "params: (none)" in text          # scorpio & friends
+        assert "scheme='LPD'" in text            # defaults rendered
+        assert "name=<required>" in text         # litmus required params
+
+    def test_lists_workload_kinds(self):
+        code, text = run_cli("sweep", "--list-builders")
+        assert code == 0
+        assert "workload kinds" in text
+        for kind in ("benchmark", "locks", "barrier", "lone_write",
+                     "idle"):
+            assert kind in text
+        assert "acquisitions_per_core=4" in text
+
     def test_sweep_without_benchmarks_errors(self):
         code, text = run_cli("sweep")
         assert code == 2
         assert "at least one benchmark" in text
+
+
+try:
+    import tomllib                                     # noqa: F401
+    _HAS_TOML = True
+except ImportError:   # pragma: no cover - Python < 3.11
+    try:
+        import tomli                                   # noqa: F401
+        _HAS_TOML = True
+    except ImportError:
+        _HAS_TOML = False
+
+needs_toml = pytest.mark.skipif(
+    not _HAS_TOML, reason="TOML documents need tomllib (3.11+) or tomli")
+
+DOCUMENT = """\
+schema = 1
+name = "cli-doc"
+description = "one tiny run"
+
+[configs.mesh3x3]
+preset = "variant"
+width = 3
+height = 3
+
+[[runs]]
+builder = "scorpio"
+config = "mesh3x3"
+label = "s"
+workload = {{ kind = "benchmark", name = "fft", ops_per_core = {ops}, workload_scale = 0.02, think_scale = 10.0, seed = 0 }}
+"""
+
+
+@needs_toml
+class TestRunFileCommand:
+    def _write(self, tmp_path, ops=4):
+        path = tmp_path / "exp.toml"
+        path.write_text(DOCUMENT.format(ops=ops))
+        return path
+
+    def test_runs_document_and_writes_envelope(self, tmp_path):
+        import json
+        path = self._write(tmp_path)
+        output = tmp_path / "results.json"
+        code, text = run_cli("run-file", str(path),
+                             "--output", str(output))
+        assert code == 0
+        assert "cli-doc" in text and "100.0%" in text
+        envelope = json.loads(output.read_text())
+        assert envelope["schema"] == 1
+        assert envelope["experiment"] == "cli-doc"
+        assert len(envelope["results"]) == 1
+        assert envelope["results"][0]["progress"] == 1.0
+
+    def test_cache_dir_recalls_runs(self, tmp_path):
+        path = self._write(tmp_path)
+        cold_code, cold = run_cli("run-file", str(path),
+                                  "--cache-dir", str(tmp_path / "c"))
+        warm_code, warm = run_cli("run-file", str(path),
+                                  "--cache-dir", str(tmp_path / "c"))
+        assert cold_code == warm_code == 0
+        assert "  run" in cold and "  cache" in warm
+
+    def test_invalid_document_exits_2(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("schema = 1\nname = 'x'\nbogus = 3\n")
+        code, text = run_cli("run-file", str(path))
+        assert code == 2
+        assert "unknown key" in text
+
+
+@needs_toml
+class TestDescribeCommand:
+    def test_prints_resolved_document(self, tmp_path):
+        import json
+        path = tmp_path / "exp.toml"
+        path.write_text(DOCUMENT.format(ops=4))
+        code, text = run_cli("describe", str(path))
+        assert code == 0
+        resolved = json.loads(text)
+        assert resolved["name"] == "cli-doc"
+        assert resolved["runs"][0]["config"]["noc"]["width"] == 3
+
+    def test_invalid_document_exits_2(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("name = 'missing schema'\n")
+        code, text = run_cli("describe", str(path))
+        assert code == 2
+        assert "schema" in text
+
+    def test_checked_in_documents_all_describe(self):
+        """Every shipped example document must stay loadable."""
+        from pathlib import Path
+        docs = Path(__file__).resolve().parent.parent / "examples" \
+            / "experiments"
+        paths = sorted(docs.glob("*.toml"))
+        assert len(paths) >= 5
+        for path in paths:
+            code, _text = run_cli("describe", str(path))
+            assert code == 0, path
 
 
 class TestLitmusCommand:

@@ -55,8 +55,9 @@ def make_l2(node=0, requires_marker=True):
     return l2, nic
 
 
-def snoop_for(req):
-    return DirForward(request=req, action="snoop", home=HOME, sent_cycle=0)
+def snoop_for(req, seq=-1):
+    return DirForward(request=req, action="snoop", home=HOME, sent_cycle=0,
+                      seq=seq)
 
 
 class TestMarkerGating:
@@ -84,15 +85,45 @@ class TestMarkerGating:
 
 
 class TestSnoopDeferral:
-    def test_pre_marker_snoop_processed_immediately(self):
-        # A snoop the home serialized *before* our request must act on
-        # the pre-acquisition state, not wait for our completion.
+    def test_earlier_serialized_snoop_acts_on_pre_state_at_marker(self):
+        # A snoop the home serialized *before* our request (lower seq
+        # than our marker's) must act on the pre-acquisition state.  The
+        # mesh may deliver it before our marker; it parks until the
+        # marker's seq proves which side of our serialization it is on,
+        # then runs against the still-uninstalled state.
         l2, nic = make_l2()
         l2.array.fill(LINE, State.S)
         l2.core_request("W", LINE, 0, token="t")     # upgrade attempt
         other = CoherenceRequest(kind=ReqKind.GETX, addr=LINE, requester=7)
-        nic.deliver_fwd(l2, snoop_for(other), 10)
-        assert l2.state_of(LINE) is State.I          # S copy invalidated now
+        nic.deliver_fwd(l2, snoop_for(other, seq=0), 10)
+        assert l2.stats.counter("l2.snoops.parked") == 1
+        assert l2.state_of(LINE) is State.S          # ambiguous: parked
+        req, _ = nic.sent_requests[0]
+        nic.deliver_fwd(l2, snoop_for(req, seq=1), 20)   # our marker
+        assert l2.state_of(LINE) is State.I          # pre-state invalidated
+
+    def test_later_serialized_snoop_defers_past_completion(self):
+        # The converse race: a snoop serialized *after* our request
+        # overtakes our marker in the mesh.  Treating its arrival order
+        # as serialization order would no-op it against the
+        # pre-acquisition state and leave a stale copy alive; the seq
+        # comparison routes it to the post-completion deferral list.
+        l2, nic = make_l2()
+        l2.core_request("R", LINE, 0, token="t")
+        req, _ = nic.sent_requests[0]
+        other = CoherenceRequest(kind=ReqKind.GETX, addr=LINE, requester=7)
+        nic.deliver_fwd(l2, snoop_for(other, seq=5), 10)  # overtook marker
+        nic.deliver_fwd(l2, snoop_for(req, seq=4), 20)    # our marker
+        assert l2.stats.counter("l2.snoops.deferred") == 1
+        data = CoherenceResponse(kind=RespKind.MEM_DATA, addr=LINE, dest=0,
+                                 requester=0, req_id=req.req_id,
+                                 served_by="memory")
+        nic.deliver_response(data, 40)
+        for c in range(41, 70):
+            l2.step(c)
+        # Our read completed, then the later GETX invalidated the copy:
+        # no stale S survives next to the new owner.
+        assert l2.state_of(LINE) is State.I
 
     def test_post_marker_snoop_deferred(self):
         l2, nic = make_l2()

@@ -1,0 +1,300 @@
+"""Golden experiment documents (repro.api v1).
+
+The checked-in documents under examples/experiments/ are the declarative
+form of the figure harnesses.  The contract locked here:
+
+* each document expands to *exactly* the specs the code path builds
+  (same resolved keys, same labels, same order);
+* running the document yields byte-identical ``SweepResult`` payloads
+  to the code path, and the two share result-cache entries (a document
+  run warms the cache for the code-built equivalent);
+* validation is strict — malformed documents fail at load with a
+  pointed error, never as a silently defaulted simulation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import figures
+from repro.api import (DOCUMENT_SCHEMA, RESULTS_SCHEMA, DocumentError,
+                       describe_experiment, experiment_from_dict,
+                       load_experiment, run_experiment)
+from repro.experiments import RunSpec, Sweep, as_cache, run_sweep
+
+DOCS = Path(__file__).resolve().parent.parent / "examples" / "experiments"
+
+try:
+    import tomllib                                     # noqa: F401
+    HAS_TOML = True
+except ImportError:   # pragma: no cover - Python < 3.11
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]  # noqa: F401
+        HAS_TOML = True
+    except ImportError:
+        HAS_TOML = False
+
+needs_toml = pytest.mark.skipif(
+    not HAS_TOML, reason="TOML documents need tomllib (3.11+) or tomli")
+
+CASES = {
+    "fig7": lambda: figures.fig7_specs(True, 0)[2],
+    "sec2": lambda: figures.sec2_specs(True, 0),
+    "incf": lambda: figures.incf_specs(True, 0)[2],
+    "locks": lambda: figures.locks_specs(True, 0),
+}
+
+
+def _minimal(**extra):
+    base = {"schema": DOCUMENT_SCHEMA, "name": "t",
+            "runs": [{"builder": "scorpio"}]}
+    base.update(extra)
+    return base
+
+
+# ---------------------------------------------------------------------------
+# Document == code path
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@needs_toml
+def test_document_expands_to_code_path_specs(case):
+    document = load_experiment(DOCS / f"{case}.toml")
+    code_specs = CASES[case]()
+    assert len(document.specs) == len(code_specs)
+    for doc_spec, code_spec in zip(document.specs, code_specs):
+        assert doc_spec.key() == code_spec.key()
+        assert doc_spec.label == code_spec.label
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@needs_toml
+def test_document_payloads_byte_identical_and_cache_shared(case, tmp_path):
+    """Run the document, then the code path against the same cache: the
+    code path must be answered entirely from the document's results and
+    the two payload streams must serialize byte-for-byte the same."""
+    cache = as_cache(tmp_path / "cache")
+    document = load_experiment(DOCS / f"{case}.toml")
+    doc_results = run_experiment(document, cache=cache).results
+    code_results = run_sweep(CASES[case](), cache=cache)
+    assert all(result.cached for result in code_results), \
+        "code path missed the cache the document warmed"
+    doc_bytes = [json.dumps(result.payload(), sort_keys=True)
+                 for result in doc_results]
+    code_bytes = [json.dumps(result.payload(), sort_keys=True)
+                  for result in code_results]
+    assert doc_bytes == code_bytes
+
+
+@needs_toml
+def test_smoke_document_results_envelope(tmp_path):
+    """The CI document end-to-end: runs, litmus verdict, stable
+    envelope schema."""
+    outcome = run_experiment(DOCS / "fig7_smoke.toml")
+    payload = outcome.payload()
+    assert payload["schema"] == RESULTS_SCHEMA
+    assert payload["experiment"] == "fig7-smoke"
+    assert len(payload["results"]) == 4
+    for row in payload["results"]:
+        assert row["progress"] == 1.0
+    assert payload["litmus"] == {"message-passing": True}
+    # The envelope is JSON-able and stable.
+    text = json.dumps(payload, sort_keys=True)
+    assert json.loads(text) == payload
+
+
+@needs_toml
+def test_json_form_equivalent_to_toml():
+    import tomllib
+    raw = tomllib.loads((DOCS / "locks.toml").read_text())
+    from_toml = load_experiment(DOCS / "locks.toml")
+    from_json = experiment_from_dict(json.loads(json.dumps(raw)))
+    assert from_json.resolved() == from_toml.resolved()
+
+
+@needs_toml
+def test_describe_is_stable_resolved_json():
+    text = describe_experiment(DOCS / "locks.toml")
+    resolved = json.loads(text)
+    assert resolved["schema"] == DOCUMENT_SCHEMA
+    assert resolved["name"] == "locks"
+    assert len(resolved["runs"]) == 3
+    # Fully expanded: each run embeds the whole chip config.
+    assert resolved["runs"][0]["config"]["noc"]["width"] == 3
+    assert text == describe_experiment(DOCS / "locks.toml")
+
+
+@needs_toml
+def test_describe_fingerprints_match_spec_fingerprints():
+    document = load_experiment(DOCS / "locks.toml")
+    resolved = document.resolved(fingerprints=True)
+    from repro.experiments.cache import code_version
+    version = code_version()
+    for entry, spec in zip(resolved["runs"], document.specs):
+        assert entry["fingerprint"] == spec.fingerprint(
+            code_version=version)
+
+
+# ---------------------------------------------------------------------------
+# Matrix / litmus sections
+# ---------------------------------------------------------------------------
+
+def test_matrix_expands_like_sweep():
+    document = experiment_from_dict({
+        "schema": 1, "name": "m",
+        "matrix": {"benchmarks": ["fft", "lu"],
+                   "protocols": ["lpd", "scorpio"], "seeds": [0, 1],
+                   "ops_per_core": 12}})
+    sweep = Sweep(benchmarks=["fft", "lu"], protocols=("lpd", "scorpio"),
+                  seeds=(0, 1), ops_per_core=12)
+    assert [spec.key() for spec in document.specs] == \
+        [spec.key() for spec in sweep.expand()]
+    assert all(isinstance(spec, RunSpec) for spec in document.specs)
+
+
+def test_litmus_section_expands_programs_by_seed():
+    document = experiment_from_dict({
+        "schema": 1, "name": "l",
+        "litmus": {"programs": ["message-passing", "store-buffering"],
+                   "seeds": [0, 7]}})
+    assert len(document.specs) == 4
+    assert {program.name for program, _ in document.litmus_checks} == \
+        {"message-passing", "store-buffering"}
+    indices = [index for _, index in document.litmus_checks]
+    assert indices == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Strict validation
+# ---------------------------------------------------------------------------
+
+def test_rejects_unknown_top_level_key():
+    with pytest.raises(DocumentError, match="unknown key"):
+        experiment_from_dict(_minimal(extra_section={}))
+
+
+def test_rejects_missing_schema():
+    with pytest.raises(DocumentError, match="schema"):
+        experiment_from_dict({"name": "x", "runs": []})
+
+
+def test_rejects_future_schema():
+    with pytest.raises(DocumentError, match="unsupported document"):
+        experiment_from_dict(_minimal(schema=DOCUMENT_SCHEMA + 1))
+
+
+def test_rejects_empty_document():
+    with pytest.raises(DocumentError, match="describes no work"):
+        experiment_from_dict({"schema": 1, "name": "x"})
+
+
+def test_rejects_run_with_both_shapes():
+    with pytest.raises(DocumentError, match="exactly one"):
+        experiment_from_dict({
+            "schema": 1, "name": "x",
+            "runs": [{"benchmark": "fft", "builder": "scorpio"}]})
+
+
+def test_rejects_unknown_builder_and_protocol():
+    with pytest.raises(DocumentError, match="unknown builder"):
+        experiment_from_dict({"schema": 1, "name": "x",
+                              "runs": [{"builder": "warp-drive"}]})
+    with pytest.raises(DocumentError, match="unknown protocol"):
+        experiment_from_dict({
+            "schema": 1, "name": "x",
+            "runs": [{"benchmark": "fft", "protocol": "mesi"}]})
+
+
+def test_rejects_unknown_benchmark_and_builder_param():
+    with pytest.raises(DocumentError, match="unknown benchmark"):
+        experiment_from_dict({"schema": 1, "name": "x",
+                              "runs": [{"benchmark": "doom"}]})
+    with pytest.raises(DocumentError, match="unknown builder parameter"):
+        experiment_from_dict({
+            "schema": 1, "name": "x",
+            "runs": [{"builder": "inso", "params": {"window": 3}}]})
+
+
+def test_rejects_undefined_config_reference():
+    with pytest.raises(DocumentError, match="unknown config"):
+        experiment_from_dict({
+            "schema": 1, "name": "x",
+            "runs": [{"builder": "scorpio", "config": "ghost"}]})
+
+
+def test_rejects_bad_config_override_key():
+    with pytest.raises(DocumentError, match="unknown key"):
+        experiment_from_dict({
+            "schema": 1, "name": "x",
+            "configs": {"c": {"preset": "chip_36core",
+                              "overrides": {"noc": {"wdith": 4}}}},
+            "runs": [{"builder": "scorpio", "config": "c"}]})
+
+
+def test_rejects_unknown_litmus_program():
+    with pytest.raises(DocumentError, match="unknown litmus program"):
+        experiment_from_dict({"schema": 1, "name": "x",
+                              "litmus": {"programs": ["nonsense"]}})
+
+
+def test_variant_preset_requires_dimensions():
+    with pytest.raises(DocumentError, match="width"):
+        experiment_from_dict({
+            "schema": 1, "name": "x",
+            "configs": {"c": {"preset": "variant"}},
+            "runs": [{"builder": "scorpio", "config": "c"}]})
+
+
+def test_mesh_override_recomputes_mc_nodes():
+    """Overriding mesh dimensions through overrides.noc must not keep
+    the preset's stale memory-controller placement."""
+    document = experiment_from_dict({
+        "schema": 1, "name": "x",
+        "configs": {"c": {"preset": "chip_36core",
+                          "overrides": {"noc": {"width": 4,
+                                                "height": 4}}}},
+        "runs": [{"builder": "scorpio", "config": "c"}]})
+    from repro.systems.base import default_mc_nodes
+    config = document.configs["c"]
+    assert config.mc_nodes == default_mc_nodes(4, 4)
+
+
+def test_mesh_override_recomputes_notification_window():
+    """Growing the mesh through overrides.noc must also raise the
+    notification window to the new latency bound (ChipConfig.variant
+    does this for preset dimensions) — otherwise the document loads but
+    every run crashes at system-build time.  An explicitly pinned
+    window is respected."""
+    from repro.noc.config import NotificationConfig
+    document = experiment_from_dict({
+        "schema": 1, "name": "x",
+        "configs": {"c": {"preset": "chip_36core",
+                          "overrides": {"noc": {"width": 10,
+                                                "height": 10}}}},
+        "runs": [{"builder": "scorpio", "config": "c"}]})
+    config = document.configs["c"]
+    assert config.notification.window >= \
+        NotificationConfig.minimum_window(10, 10)
+    pinned = experiment_from_dict({
+        "schema": 1, "name": "x",
+        "configs": {"c": {"preset": "chip_36core",
+                          "overrides": {"noc": {"width": 4, "height": 4},
+                                        "notification": {"window": 9}}}},
+        "runs": [{"builder": "scorpio", "config": "c"}]})
+    assert pinned.configs["c"].notification.window == 9
+
+
+@needs_toml
+def test_load_errors_name_the_file(tmp_path):
+    path = tmp_path / "broken.toml"
+    path.write_text("schema = 1\nname = 'x'\nrusn = 3\n")
+    with pytest.raises(DocumentError, match="broken.toml"):
+        load_experiment(path)
+    missing = tmp_path / "absent.toml"
+    with pytest.raises(DocumentError, match="cannot read"):
+        load_experiment(missing)
+    bad_json = tmp_path / "broken.json"
+    bad_json.write_text("{not json")
+    with pytest.raises(DocumentError, match="invalid JSON"):
+        load_experiment(bad_json)
