@@ -527,18 +527,13 @@ class ExperimentResult:
         return out
 
 
-def run_experiment(experiment: Union[ExperimentSpec, str, Path],
-                   jobs: Optional[int] = None,
-                   cache=None) -> ExperimentResult:
-    """Execute an experiment document (or its path) through the sweep
-    runner; ``jobs``/``cache`` default to the process execution context
-    exactly like :func:`~repro.experiments.sweep.run_sweep`."""
-    from repro.experiments import run_sweep
-    if not isinstance(experiment, ExperimentSpec):
-        experiment = load_experiment(experiment)
-    results = run_sweep(experiment.specs, jobs=jobs, cache=cache) \
-        if experiment.specs else []
-
+def collect_experiment_result(experiment: ExperimentSpec,
+                              results: List[Any]) -> ExperimentResult:
+    """Judge litmus executions, run the bench table (if any) and wrap
+    *results* (one ``SweepResult`` per ``experiment.specs`` entry, in
+    order) into an :class:`ExperimentResult` — the shared tail of
+    :func:`run_experiment` and the checkpointed executor
+    (:mod:`repro.experiments.checkpoint_exec`)."""
     verdicts: Dict[str, bool] = {}
     if experiment.litmus_checks:
         from repro.verification.litmus import (Observation,
@@ -557,6 +552,20 @@ def run_experiment(experiment: Union[ExperimentSpec, str, Path],
     return ExperimentResult(experiment=experiment, results=results,
                             litmus_verdicts=verdicts,
                             bench_report=bench_report)
+
+
+def run_experiment(experiment: Union[ExperimentSpec, str, Path],
+                   jobs: Optional[int] = None,
+                   cache=None) -> ExperimentResult:
+    """Execute an experiment document (or its path) through the sweep
+    runner; ``jobs``/``cache`` default to the process execution context
+    exactly like :func:`~repro.experiments.sweep.run_sweep`."""
+    from repro.experiments import run_sweep
+    if not isinstance(experiment, ExperimentSpec):
+        experiment = load_experiment(experiment)
+    results = run_sweep(experiment.specs, jobs=jobs, cache=cache) \
+        if experiment.specs else []
+    return collect_experiment_result(experiment, results)
 
 
 def describe_experiment(experiment: Union[ExperimentSpec, str, Path],

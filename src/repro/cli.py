@@ -15,6 +15,10 @@ Commands:
 * ``run-file`` — execute an experiment document (TOML/JSON; see
   EXPERIMENTS.md and ``examples/experiments/``) through the same
   orchestrator; ``--output`` writes the stable results envelope.
+  ``--checkpoint-every N`` snapshots every run's full system state on
+  an N-cycle cadence (``--checkpoint-dir`` chooses where) and
+  ``--resume <ckpt>`` restores a preempted run from such a snapshot —
+  results are byte-identical to an uninterrupted run.
 * ``describe`` — validate an experiment document and print its fully
   resolved form (expanded configs, workloads, params) as JSON.
 * ``figure`` — regenerate a paper table/figure (see ``--list``).
@@ -122,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_file_p.add_argument("path")
     run_file_p.add_argument("--output", default=None,
                             help="write the results envelope as JSON")
+    run_file_p.add_argument("--checkpoint-every", type=int, default=None,
+                            metavar="N",
+                            help="snapshot each run's full system state "
+                                 "every N cycles (serial, uncached; "
+                                 "snapshots land in --checkpoint-dir)")
+    run_file_p.add_argument("--checkpoint-dir", default=".",
+                            help="directory for <fingerprint>.ckpt "
+                                 "snapshots (default: .)")
+    run_file_p.add_argument("--resume", default=None, metavar="CKPT",
+                            help="resume the matching run from a "
+                                 "snapshot written by --checkpoint-every "
+                                 "(other runs execute fresh)")
     add_executor_options(run_file_p)
 
     describe_p = sub.add_parser(
@@ -288,9 +304,26 @@ def cmd_run_file(args, out) -> int:
     except DocumentError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    cache = as_cache(args.cache_dir) if args.cache_dir \
-        else get_context().cache
-    outcome = run_experiment(experiment, jobs=args.jobs, cache=cache)
+    checkpointing = (args.checkpoint_every is not None
+                     or args.resume is not None)
+    cache = None
+    if checkpointing:
+        from repro.experiments.checkpoint_exec import \
+            run_experiment_checkpointed
+        try:
+            outcome = run_experiment_checkpointed(
+                experiment, checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        if args.checkpoint_every is not None:
+            print(f"checkpoints: every {args.checkpoint_every} cycles "
+                  f"-> {args.checkpoint_dir}", file=out)
+    else:
+        cache = as_cache(args.cache_dir) if args.cache_dir \
+            else get_context().cache
+        outcome = run_experiment(experiment, jobs=args.jobs, cache=cache)
     print(f"experiment: {experiment.name} "
           f"({len(outcome.results)} runs)", file=out)
     failures = 0

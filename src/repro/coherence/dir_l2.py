@@ -74,8 +74,8 @@ class DirectoryL2Controller(L2Controller):
             due = [d for d in self._delayed if d[0] <= cycle]
             if due:
                 self._delayed = [d for d in self._delayed if d[0] > cycle]
-                for _c, fn in due:
-                    fn()
+                for _c, fn, args in due:
+                    fn(*args)
         while self._pending_issue and self.nic.can_send_request():
             req = self._pending_issue.popleft()
             self.nic.send_request(req, dst=req.home_node)
@@ -331,9 +331,8 @@ class DirectoryL2Controller(L2Controller):
                 0, arrival_cycle - fwd.sent_cycle)
         resp.stamps["sharer_access"] = self.config.l2_latency
         resp.stamps["data_sent"] = send_cycle
-        self._schedule(send_cycle,
-                       lambda: self.nic.send_response(resp, req.requester,
-                                                      carries_data=True))
+        self._schedule(send_cycle, self.nic.send_response, resp,
+                       req.requester, True)
         self.stats.incr("l2.data_forwards")
 
     # ------------------------------------------------------------------

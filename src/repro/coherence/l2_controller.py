@@ -124,7 +124,9 @@ class L2Controller(Clocked):
         self.wb_buffer: Dict[int, WritebackEntry] = {}
         self._ordered_queue: Deque[Tuple[CoherenceRequest, int, int, int]] = deque()
         self._pending_issue: Deque[CoherenceRequest] = deque()
-        self._delayed: List[Tuple[int, Callable[[], None]]] = []
+        # (cycle, bound_method, args) — methods plus plain-data args, so
+        # in-flight callbacks survive pickling for checkpoint/restore.
+        self._delayed: List[Tuple[int, Callable[..., None], tuple]] = []
         self._next_slot_cycle = 0
         self._completion_cb: Optional[Callable[[Any, int], None]] = None
         self._l1_invalidate: Optional[Callable[[int], None]] = None
@@ -186,9 +188,8 @@ class L2Controller(Clocked):
             done = cycle + self.config.l2_latency
             version = (self._bump_version(line) if op in ("W", "A")
                        else self.line_version(line))
-            self._schedule(done,
-                           lambda: self._complete_core(token, None, done,
-                                                       version))
+            self._schedule(done, self._complete_core, token, None, done,
+                           version)
             return True
         if not self.can_accept_core_request(addr):
             self.stats.incr("l2.stalls.structural")
@@ -262,8 +263,8 @@ class L2Controller(Clocked):
             due = [d for d in self._delayed if d[0] <= cycle]
             if due:
                 self._delayed = [d for d in self._delayed if d[0] > cycle]
-                for _c, fn in due:
-                    fn()
+                for _c, fn, args in due:
+                    fn(*args)
         while self._pending_issue and self.nic.can_send_request():
             self.nic.send_request(self._pending_issue.popleft())
         if self.config.retry_timeout is not None:
@@ -363,6 +364,14 @@ class L2Controller(Clocked):
             return
         mshr = self.mshrs.get(req.req_id)
         if mshr is None:
+            if self.config.retry_timeout is not None:
+                # Retrying baselines (TokenB/Uncorq) rebroadcast a stuck
+                # request under the same req_id; if the original copy
+                # completed the transaction first, the retry's own copy
+                # arrives after the MSHR retired.  It carries no new
+                # information — drop it.
+                self.stats.incr("l2.snoops.stale_own")
+                return
             raise RuntimeError(f"node {self.node}: own ordered request "
                                f"{req!r} has no MSHR")
         mshr.ordered_seen = True
@@ -466,9 +475,8 @@ class L2Controller(Clocked):
         resp.stamps["ordering"] = max(0, cycle - arrival)
         resp.stamps["sharer_access"] = self.config.l2_latency
         resp.stamps["data_sent"] = send_cycle
-        self._schedule(send_cycle,
-                       lambda: self.nic.send_response(resp, req.requester,
-                                                      carries_data=True))
+        self._schedule(send_cycle, self.nic.send_response, resp,
+                       req.requester, True)
         self.stats.incr("l2.data_forwards")
 
     # ------------------------------------------------------------------
@@ -483,8 +491,7 @@ class L2Controller(Clocked):
         line = mshr.req.addr
         if not self._ensure_way(line, cycle):
             # No evictable way yet; retry next cycle.
-            self._schedule(cycle + 1,
-                           lambda: self._maybe_complete(mshr, cycle + 1))
+            self._schedule(cycle + 1, self._maybe_complete, mshr, cycle + 1)
             return
         final = State.M if mshr.req.kind is ReqKind.GETX else State.S
         base_version = (mshr.resp_version if mshr.data_received
@@ -598,8 +605,12 @@ class L2Controller(Clocked):
     # Helpers
     # ------------------------------------------------------------------
 
-    def _schedule(self, cycle: int, fn: Callable[[], None]) -> None:
-        self._delayed.append((cycle, fn))
+    def _schedule(self, cycle: int, fn: Callable[..., None],
+                  *args: Any) -> None:
+        """Run ``fn(*args)`` at *cycle*.  *fn* must be a bound method (or
+        module-level function) and *args* picklable data, so a snapshot
+        taken with callbacks in flight can be restored."""
+        self._delayed.append((cycle, fn, args))
         self.wake(cycle)
 
     def state_of(self, addr: int) -> State:

@@ -9,7 +9,6 @@ the harness can reproduce the paper's latency-decomposition figures
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional
@@ -28,12 +27,32 @@ class RespKind(Enum):
     ACK = "ACK"            # dataless acknowledgement (directory protocols)
 
 
-_request_ids = itertools.count()
+# Module-level integer (not an itertools.count) so checkpoints can
+# capture and restore the allocator position exactly.
+_next_request_id = 0
+
+
+def _new_request_id() -> int:
+    global _next_request_id
+    rid = _next_request_id
+    _next_request_id += 1
+    return rid
 
 
 def reset_request_ids() -> None:
-    global _request_ids
-    _request_ids = itertools.count()
+    global _next_request_id
+    _next_request_id = 0
+
+
+def request_id_state() -> int:
+    """The next req_id to be allocated (captured by checkpoints)."""
+    return _next_request_id
+
+
+def set_request_id_state(value: int) -> None:
+    """Restore the allocator so the next req_id equals *value*."""
+    global _next_request_id
+    _next_request_id = int(value)
 
 
 @dataclass
@@ -43,7 +62,7 @@ class CoherenceRequest:
     kind: ReqKind
     addr: int                     # line-aligned address
     requester: int                # node id
-    req_id: int = field(default_factory=lambda: next(_request_ids))
+    req_id: int = field(default_factory=_new_request_id)
     issue_cycle: int = -1         # cache controller issued the request
     home_node: int = -1           # directory protocols: the home slice
     # Free-form timestamps for latency decomposition, keyed by the

@@ -98,6 +98,49 @@ def build_system(protocol: str, traces, config: Optional[ChipConfig] = None
                      f"{PROTOCOLS}")
 
 
+def build_benchmark_system(benchmark: Union[str, WorkloadProfile],
+                           protocol: str = "scorpio",
+                           config: Optional[ChipConfig] = None,
+                           ops_per_core: int = 150,
+                           workload_scale: float = 1.0,
+                           think_scale: float = 1.0,
+                           seed: int = 0):
+    """Construct — but do not run — the system for one benchmark run.
+
+    The checkpointable form of :func:`run_benchmark`: snapshot the
+    returned system at any point between runs, restore it elsewhere, and
+    :func:`collect_run_result` harvests the same :class:`RunResult` a
+    straight run would have produced."""
+    config = config or ChipConfig.chip_36core()
+    if isinstance(benchmark, str):
+        prof = lookup_profile(benchmark)
+    else:
+        prof = benchmark
+    if workload_scale != 1.0 or think_scale != 1.0:
+        prof = scaled(prof, workload_scale, think_scale)
+    traces = generate_system_traces(prof, config.n_cores, ops_per_core,
+                                    seed=seed)
+    system = build_system(protocol, traces, config)
+    system.benchmark_name = prof.name
+    return system
+
+
+def collect_run_result(system, protocol: str,
+                       benchmark_name: Optional[str] = None) -> RunResult:
+    """Harvest the :class:`RunResult` from a finished system (built by
+    :func:`build_benchmark_system`, possibly restored from a checkpoint)."""
+    return RunResult(
+        protocol=protocol,
+        benchmark=(benchmark_name if benchmark_name is not None
+                   else getattr(system, "benchmark_name", "")),
+        n_cores=system.n_nodes,
+        runtime=system.engine.cycle,
+        completed_ops=system.total_completed_ops(),
+        progress=system.progress(),
+        stats=system.stats.snapshot(),
+    )
+
+
 def run_benchmark(benchmark: Union[str, WorkloadProfile],
                   protocol: str = "scorpio",
                   config: Optional[ChipConfig] = None,
@@ -112,26 +155,12 @@ def run_benchmark(benchmark: Union[str, WorkloadProfile],
     runs normally finish far earlier.  ``workload_scale`` shrinks the
     synthetic footprints for quick runs.
     """
-    config = config or ChipConfig.chip_36core()
-    if isinstance(benchmark, str):
-        prof = lookup_profile(benchmark)
-    else:
-        prof = benchmark
-    if workload_scale != 1.0 or think_scale != 1.0:
-        prof = scaled(prof, workload_scale, think_scale)
-    traces = generate_system_traces(prof, config.n_cores, ops_per_core,
-                                    seed=seed)
-    system = build_system(protocol, traces, config)
-    runtime = system.run_until_done(max_cycles)
-    return RunResult(
-        protocol=protocol,
-        benchmark=prof.name,
-        n_cores=config.n_cores,
-        runtime=runtime,
-        completed_ops=system.total_completed_ops(),
-        progress=system.progress(),
-        stats=system.stats.snapshot(),
-    )
+    system = build_benchmark_system(benchmark, protocol=protocol,
+                                    config=config, ops_per_core=ops_per_core,
+                                    workload_scale=workload_scale,
+                                    think_scale=think_scale, seed=seed)
+    system.run_until_done(max_cycles)
+    return collect_run_result(system, protocol)
 
 
 def run_trace_file(path, protocol: str = "scorpio",

@@ -20,6 +20,12 @@ from repro.experiments.builders import (SystemBuilder, SystemRunOutcome,
                                         list_builders, register_builder,
                                         resolve_workload, workload_kinds)
 from repro.experiments.cache import ResultCache, as_cache, code_version
+from repro.experiments.checkpoint_exec import (build_for_spec,
+                                               collect_for_spec,
+                                               execute_spec_checkpointed,
+                                               resume_spec,
+                                               run_experiment_checkpointed,
+                                               snapshot_spec)
 from repro.experiments.context import (ExecutionContext, configure,
                                        executing, get_context)
 from repro.experiments.spec import RunSpec, config_to_dict, profile_to_dict
@@ -29,9 +35,11 @@ from repro.experiments.sweep import (Sweep, SweepResult, execute_spec,
 __all__ = [
     "ExecutionContext", "ResultCache", "RunSpec", "Sweep", "SweepResult",
     "SystemBuilder", "SystemRunOutcome", "SystemSpec", "as_cache",
-    "builder_names", "code_version", "configure", "config_to_dict",
-    "executing", "execute_spec", "execute_system_spec", "get_builder",
+    "build_for_spec", "builder_names", "code_version", "collect_for_spec",
+    "configure", "config_to_dict", "executing", "execute_spec",
+    "execute_spec_checkpointed", "execute_system_spec", "get_builder",
     "get_context", "list_builders", "profile_to_dict", "register_builder",
-    "resolve_workload", "run_grid", "run_sweep", "sweep_compare",
+    "resolve_workload", "resume_spec", "run_experiment_checkpointed",
+    "run_grid", "run_sweep", "snapshot_spec", "sweep_compare",
     "workload_kinds",
 ]

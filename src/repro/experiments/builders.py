@@ -194,7 +194,11 @@ class SystemBuilder:
     defaults: Mapping[str, Any] = field(default_factory=dict)
     construct: Optional[Callable[..., Any]] = None
     metrics: Optional[Callable[[Any], Dict[str, float]]] = None
-    execute: Optional[Callable[..., SystemRunOutcome]] = None
+    # Builders with a fundamentally different construction/harvest shape
+    # (litmus) override these; the run phase itself is always
+    # ``system.run_until_done`` so every builder can checkpoint.
+    build: Optional[Callable[..., Any]] = None
+    collect: Optional[Callable[..., SystemRunOutcome]] = None
 
     def resolved_params(self, given: Mapping[str, Any]) -> Dict[str, Any]:
         return _merge_params(self.name, given, self.defaults, "builder")
@@ -206,14 +210,15 @@ BUILDERS: Dict[str, SystemBuilder] = {}
 def register_builder(name: str, description: str,
                      defaults: Optional[Mapping[str, Any]] = None,
                      metrics: Optional[Callable] = None,
-                     execute: Optional[Callable] = None):
+                     build: Optional[Callable] = None,
+                     collect: Optional[Callable] = None):
     """Decorator registering ``fn`` as the constructor for *name*."""
 
     def decorate(fn):
         BUILDERS[name] = SystemBuilder(
             name=name, description=description, defaults=dict(defaults or {}),
-            construct=None if execute else fn, metrics=metrics,
-            execute=execute)
+            construct=None if build else fn, metrics=metrics,
+            build=build, collect=collect)
         return fn
 
     return decorate
@@ -317,25 +322,44 @@ class SystemSpec:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def execute_system_spec(spec: SystemSpec) -> SystemRunOutcome:
-    """Run one system spec in this process (the cache/pool-free core)."""
+def build_spec_system(spec: SystemSpec):
+    """Construct — but do not run — the system for *spec*.
+
+    This is the object a checkpoint snapshots: everything the run will
+    mutate (engine, NoC, caches, cores) hangs off it."""
     builder = get_builder(spec.builder)
     config = spec.resolved_config()
     params = builder.resolved_params(spec.params)
-    if builder.execute is not None:
-        return builder.execute(spec, config, params)
+    if builder.build is not None:
+        return builder.build(spec, config, params)
     resolved = resolve_workload(spec.workload)
     traces = resolved.build_traces(config.n_cores)
-    system = builder.construct(config, params, traces)
-    runtime = system.run_until_done(spec.max_cycles)
+    return builder.construct(config, params, traces)
+
+
+def collect_spec_outcome(spec: SystemSpec, system) -> SystemRunOutcome:
+    """Harvest the :class:`SystemRunOutcome` from a finished *system*.
+
+    Works identically whether the system ran start-to-finish in one
+    process or was restored from a checkpoint and resumed."""
+    builder = get_builder(spec.builder)
+    if builder.collect is not None:
+        return builder.collect(spec, system)
     stats = system.stats.snapshot()
     if builder.metrics is not None:
         for name, value in builder.metrics(system).items():
             stats[f"system.{name}"] = float(value)
-    return SystemRunOutcome(runtime=runtime,
+    return SystemRunOutcome(runtime=system.engine.cycle,
                             completed_ops=system.total_completed_ops(),
                             progress=system.progress(),
                             stats=stats)
+
+
+def execute_system_spec(spec: SystemSpec) -> SystemRunOutcome:
+    """Run one system spec in this process (the cache/pool-free core)."""
+    system = build_spec_system(spec)
+    system.run_until_done(spec.max_cycles)
+    return collect_spec_outcome(spec, system)
 
 
 # ---------------------------------------------------------------------------
@@ -458,31 +482,41 @@ def _build_uncorq(config: ChipConfig, params, traces):
                         seed=config.seed)
 
 
-def _execute_litmus(spec: SystemSpec, config: ChipConfig,
-                    params: Mapping[str, Any]) -> SystemRunOutcome:
-    from repro.verification.litmus import LitmusProgram, run_litmus_detailed
+def _litmus_build(spec: SystemSpec, config: ChipConfig,
+                  params: Mapping[str, Any]):
+    from repro.verification.litmus import (LitmusProgram,
+                                           build_litmus_system)
     program = LitmusProgram(
         name=params["name"],
         threads=[[(op, var) for op, var in thread]
                  for thread in params["threads"]])
-    observations, runtime = run_litmus_detailed(
-        program, width=config.noc.width, height=config.noc.height,
-        max_cycles=spec.max_cycles, seed=params["seed"],
-        protocol=params["protocol"])
+    return build_litmus_system(program, width=config.noc.width,
+                               height=config.noc.height,
+                               seed=params["seed"],
+                               protocol=params["protocol"])
+
+
+def _litmus_collect(spec: SystemSpec, system) -> SystemRunOutcome:
+    from repro.verification.litmus import litmus_observations
+    if not system.all_cores_finished():
+        raise RuntimeError(
+            f"litmus {spec.params.get('name', '?')} did not finish")
+    observations = litmus_observations(system)
     return SystemRunOutcome(
-        runtime=runtime, completed_ops=len(observations), progress=1.0,
-        stats={},
+        runtime=system.engine.cycle, completed_ops=len(observations),
+        progress=1.0, stats={},
         extra={"observations": [[o.core, o.index, o.op, o.var, o.version]
                                 for o in observations]})
 
 
-# The dummy constructor is never called (execute overrides the run).
+# The dummy constructor is never called (build/collect override the
+# generic trace-driven construction and harvest).
 @register_builder(
     "litmus",
     "memory-consistency litmus program on a live system (SC checker runs "
     "on the collected observations)",
     defaults={"name": REQUIRED, "threads": REQUIRED, "protocol": "scorpio",
               "seed": 0},
-    execute=_execute_litmus)
+    build=_litmus_build, collect=_litmus_collect)
 def _build_litmus(config, params, traces):   # pragma: no cover
-    raise RuntimeError("litmus runs through its execute override")
+    raise RuntimeError("litmus builds through its build override")

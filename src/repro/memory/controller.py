@@ -45,17 +45,44 @@ class MemoryConfig(SerializableConfig):
     __serialize_nested__ = {"dram_config": DramConfig}
 
 
+class AddressInterleavedMap:
+    """Address-interleaved home-MC mapping (line granularity).
+
+    A callable class rather than a closure so systems holding the map
+    stay picklable for checkpoint/restore."""
+
+    def __init__(self, mc_nodes: List[int], line_size: int = 32) -> None:
+        if not mc_nodes:
+            raise ValueError("need at least one memory controller node")
+        self.nodes = list(mc_nodes)
+        self.line_size = line_size
+
+    def __call__(self, addr: int) -> int:
+        return self.nodes[(addr // self.line_size) % len(self.nodes)]
+
+
+class OwnsMappedAddr:
+    """``owns_addr`` predicate: is *node* the home MC for the address
+    under *memory_map*?  (Picklable replacement for the per-MC lambda.)"""
+
+    def __init__(self, memory_map: Callable[[int], int], node: int) -> None:
+        self.memory_map = memory_map
+        self.node = node
+
+    def __call__(self, addr: int) -> bool:
+        return self.memory_map(addr) == self.node
+
+
+def owns_every_addr(addr: int) -> bool:
+    """``owns_addr`` for directory-system MCs: MemReads are pre-routed
+    to the right controller, so every delivered address is ours."""
+    return True
+
+
 def make_memory_map(mc_nodes: List[int],
                     line_size: int = 32) -> Callable[[int], int]:
     """Address-interleaved home-MC mapping (line granularity)."""
-    if not mc_nodes:
-        raise ValueError("need at least one memory controller node")
-    nodes = list(mc_nodes)
-
-    def memory_map(addr: int) -> int:
-        return nodes[(addr // line_size) % len(nodes)]
-
-    return memory_map
+    return AddressInterleavedMap(mc_nodes, line_size)
 
 
 class MemoryController(Clocked):
@@ -85,7 +112,9 @@ class MemoryController(Clocked):
         # Lines whose PUT is ordered but whose data has not arrived yet.
         self.wb_pending: Dict[int, bool] = {}
         self.waiting: Dict[int, Deque[Tuple[CoherenceRequest, int]]] = {}
-        self._delayed: List[Tuple[int, Callable[[], None]]] = []
+        # (cycle, bound_method, args) tuples — picklable, so DRAM
+        # responses in flight survive checkpoint/restore.
+        self._delayed: List[Tuple[int, Callable[..., None], tuple]] = []
         self.dram = None
         if self.config.banked:
             from repro.memory.dram import DramConfig, DramModel
@@ -183,9 +212,7 @@ class MemoryController(Clocked):
         resp.stamps["mem_access"] = latency
         resp.stamps["data_sent"] = send_cycle
         self._delayed.append(
-            (send_cycle,
-             lambda: self.nic.send_response(resp, req.requester,
-                                            carries_data=True)))
+            (send_cycle, self.nic.send_response, (resp, req.requester, True)))
         self.wake(send_cycle)
         self.stats.incr("mc.dram_reads")
 
@@ -206,9 +233,7 @@ class MemoryController(Clocked):
         resp.stamps["mem_access"] = latency
         resp.stamps["data_sent"] = send_cycle
         self._delayed.append(
-            (send_cycle,
-             lambda: self.nic.send_response(resp, req.requester,
-                                            carries_data=True)))
+            (send_cycle, self.nic.send_response, (resp, req.requester, True)))
         self.wake(send_cycle)
         self.stats.incr("mc.dram_reads")
 
@@ -234,8 +259,8 @@ class MemoryController(Clocked):
             due = [d for d in self._delayed if d[0] <= cycle]
             if due:
                 self._delayed = [d for d in self._delayed if d[0] > cycle]
-                for _c, fn in due:
-                    fn()
+                for _c, fn, args in due:
+                    fn(*args)
         # The only per-cycle work is releasing scheduled DRAM responses,
         # so sleep to the earliest one (appends wake us with their send
         # cycle; the listener callbacks run regardless of sleep state).

@@ -128,13 +128,21 @@ class BroadcastFilter:
         return frozenset(keep)
 
 
-def l2_interest_oracle(l2s) -> Callable[[int, int], bool]:
-    """Build the interest callback from a list of L2 controllers (each
-    must offer ``snoop_interest(addr)``)."""
-    def interest(node: int, addr: int) -> bool:
-        return l2s[node].snoop_interest(addr)
+class L2InterestOracle:
+    """Interest callback backed by live L2 controllers (each must offer
+    ``snoop_interest(addr)``).  A callable class rather than a closure so
+    filters holding it stay picklable for checkpoint/restore."""
 
-    return interest
+    def __init__(self, l2s) -> None:
+        self.l2s = l2s
+
+    def __call__(self, node: int, addr: int) -> bool:
+        return self.l2s[node].snoop_interest(addr)
+
+
+def l2_interest_oracle(l2s) -> Callable[[int, int], bool]:
+    """Build the interest callback from a list of L2 controllers."""
+    return L2InterestOracle(l2s)
 
 
 class FilterTable:

@@ -14,10 +14,22 @@ from typing import Callable, Dict, List, Optional
 
 from repro.noc.config import NocConfig
 from repro.noc.packet import VNet
-from repro.noc.router import Router
+from repro.noc.router import Router, rvc_never
 from repro.noc.routing import DIRECTIONS, LOCAL, neighbor, opposite
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
+
+
+class NicRvcOracle:
+    """Reserved-VC oracle answering from the NICs attached to a mesh's
+    nodes.  A callable class (not a per-system lambda) so the mesh — and
+    everything referencing it — stays picklable for checkpoints."""
+
+    def __init__(self, nics) -> None:
+        self.nics = nics
+
+    def __call__(self, node: int, sid: int, seq: int) -> bool:
+        return self.nics[node].rvc_eligible(sid, seq)
 
 
 class Mesh:
@@ -29,7 +41,7 @@ class Mesh:
         self.config = config
         self.engine = engine
         self.stats = stats or StatsRegistry()
-        self._rvc_ok = rvc_ok or (lambda _node, _sid, _seq: False)
+        self._rvc_ok = rvc_ok or rvc_never
         self.routers: List[Router] = []
         for node in range(config.n_nodes):
             router = Router(node, config, self.stats, self._lookup_rvc)

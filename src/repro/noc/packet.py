@@ -14,7 +14,6 @@ serialization and buffer occupancy through the ``size_flits`` field.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Optional
@@ -27,13 +26,33 @@ class VNet(IntEnum):
     UO_RESP = 1
 
 
-_packet_ids = itertools.count()
+# Module-level integer (not an itertools.count) so checkpoints can
+# capture and restore the allocator position exactly.
+_next_packet_id = 0
+
+
+def _new_packet_id() -> int:
+    global _next_packet_id
+    pid = _next_packet_id
+    _next_packet_id += 1
+    return pid
 
 
 def reset_packet_ids() -> None:
     """Reset the global packet id counter (test isolation helper)."""
-    global _packet_ids
-    _packet_ids = itertools.count()
+    global _next_packet_id
+    _next_packet_id = 0
+
+
+def packet_id_state() -> int:
+    """The next pid to be allocated (captured by checkpoints)."""
+    return _next_packet_id
+
+
+def set_packet_id_state(value: int) -> None:
+    """Restore the allocator so the next pid equals *value*."""
+    global _next_packet_id
+    _next_packet_id = int(value)
 
 
 @dataclass
@@ -63,7 +82,7 @@ class Packet:
     # source s outranks everything pending at a node that has already
     # consumed k requests from s.
     seq: int = -1
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    pid: int = field(default_factory=_new_packet_id)
 
     @property
     def is_broadcast(self) -> bool:

@@ -62,6 +62,12 @@ class Lookahead:
     inport: int          # input port the packet will arrive on
 
 
+def rvc_never(_node: int, _sid: int, _seq: int) -> bool:
+    """Default reserved-VC oracle: nothing is eligible.  A module-level
+    function (not a lambda) so routers stay picklable for checkpoints."""
+    return False
+
+
 @dataclass
 class _BypassGrant:
     arrival_cycle: int
@@ -81,7 +87,7 @@ class Router(Clocked):
         self.stats = stats or StatsRegistry()
         # rvc_ok(downstream_node, sid, seq): reserved-VC eligibility,
         # answered by the downstream node's NIC (deadlock avoidance).
-        self.rvc_ok = rvc_ok or (lambda _node, _sid, _seq: False)
+        self.rvc_ok = rvc_ok or rvc_never
         w, h = config.width, config.height
         uoresp_depth = max(config.uoresp_vc_depth, config.data_flits)
         self._uoresp_depth = uoresp_depth

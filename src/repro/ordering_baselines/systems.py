@@ -31,7 +31,8 @@ from typing import List, Optional, Sequence
 from repro.coherence.l2_controller import CacheConfig, L2Controller
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
-from repro.memory.controller import MemoryConfig, MemoryController
+from repro.memory.controller import (MemoryConfig, MemoryController,
+                                     OwnsMappedAddr)
 from repro.nic.controller import NetworkInterface
 from repro.noc.config import NocConfig, NotificationConfig
 from repro.ordering_baselines.inso import InsoNetworkInterface
@@ -64,8 +65,7 @@ class _SnoopyBaselineSystem(BaseSystem):
         for mc_node in self.mc_nodes:
             mc = MemoryController(
                 mc_node, self.nics[mc_node],
-                owns_addr=(lambda node: lambda addr:
-                           self.memory_map(addr) == node)(mc_node),
+                owns_addr=OwnsMappedAddr(self.memory_map, mc_node),
                 config=self.memory_config, stats=self.stats, snoopy=True)
             self.engine.register(mc)
             self.memory_controllers.append(mc)

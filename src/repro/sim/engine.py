@@ -125,6 +125,30 @@ class Clocked:
         if cycle < cell[0]:
             cell[0] = cycle
 
+    # -- checkpoint protocol -------------------------------------------
+
+    def state_dict(self) -> dict:
+        """A serializable view of this component's simulated state.
+
+        Excludes the engine-attachment attributes (``_q_cell`` /
+        ``_q_engine``): they describe how the *kernel runs*, not what
+        the simulation computed, and must never leak the quiescence
+        mode into a checkpoint (the mode-invariance rule).
+        :meth:`Engine.rebind_quiescence` re-links them after a restore.
+        """
+        return {k: v for k, v in self.__dict__.items()
+                if k not in ("_q_cell", "_q_engine")}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Install a :meth:`state_dict` (engine attachment unchanged)."""
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> dict:
+        return self.state_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        self.load_state_dict(state)
+
 
 class Engine:
     """Deterministic two-phase cycle-driven simulation engine."""
@@ -188,6 +212,38 @@ class Engine:
         if has_commit:
             self._commit_entries.append((cell, component.commit))
         return component
+
+    def rebind_quiescence(self, enabled: Optional[bool] = None) -> None:
+        """Re-resolve the quiescence mode and re-link every component's
+        sleep cell.
+
+        Called after a checkpoint restore: the mode is a property of the
+        *running process* (environment / :func:`forced_quiescence`),
+        never of the snapshot, so a snapshot taken under either mode
+        restores correctly under either.  Enabling attaches the cells so
+        components lazily re-declare sleep; disabling detaches them and
+        wakes every cell so the plain always-tick loop resumes.
+        """
+        self.quiescence = default_quiescence() if enabled is None \
+            else bool(enabled)
+        for entries in (self._step_entries, self._commit_entries):
+            for cell, method in entries:
+                component = method.__self__
+                if self.quiescence:
+                    component._q_cell = cell
+                    component._q_engine = self
+                else:
+                    component._q_cell = None
+                    component._q_engine = None
+                    cell[1] += 1
+                    cell[0] = 0
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # The quiescence mode belongs to the restoring process, not the
+        # snapshot: re-resolve it and re-link the sleep cells that the
+        # components' own __getstate__ deliberately dropped.
+        self.rebind_quiescence()
 
     def add_watcher(self, fn: Callable[[int], None]) -> None:
         """Call *fn(cycle)* after each committed cycle (for probes/tests).

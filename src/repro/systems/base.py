@@ -17,7 +17,7 @@ from repro.cpu.trace import Trace
 from repro.memory.controller import MemoryConfig, make_memory_map
 from repro.nic.controller import NetworkInterface
 from repro.noc.config import NocConfig, NotificationConfig
-from repro.noc.mesh import Mesh
+from repro.noc.mesh import Mesh, NicRvcOracle
 from repro.notification.network import NotificationNetwork
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
@@ -79,8 +79,7 @@ class BaseSystem:
             nic.attach_router(router)
             self.engine.register(nic)
             self.nics.append(nic)
-        self.mesh.set_rvc_oracle(
-            lambda node, sid, seq: self.nics[node].rvc_eligible(sid, seq))
+        self.mesh.set_rvc_oracle(NicRvcOracle(self.nics))
 
         self.notification_network: Optional[NotificationNetwork] = None
         if ordered:

@@ -16,9 +16,22 @@ from repro.coherence.directory import DirectoryConfig, DirectoryController
 from repro.coherence.l2_controller import CacheConfig
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
-from repro.memory.controller import MemoryConfig, MemoryController
+from repro.memory.controller import (MemoryConfig, MemoryController,
+                                     owns_every_addr)
 from repro.noc.config import NocConfig, NotificationConfig
 from repro.systems.base import BaseSystem
+
+
+class LineInterleavedHomeMap:
+    """Line-interleaved home-directory mapping (picklable callable,
+    replacing the per-system lambda for checkpoint support)."""
+
+    def __init__(self, line_size: int, n_nodes: int) -> None:
+        self.line_size = line_size
+        self.n_nodes = n_nodes
+
+    def __call__(self, addr: int) -> int:
+        return (addr // self.line_size) % self.n_nodes
 
 
 class DirectorySystem(BaseSystem):
@@ -47,9 +60,8 @@ class DirectorySystem(BaseSystem):
         if self.dir_config.scheme != scheme:
             raise ValueError("directory config scheme mismatch")
 
-        line = self.noc_config.line_size_bytes
-        n = self.n_nodes
-        self.home_map = lambda addr: (addr // line) % n
+        self.home_map = LineInterleavedHomeMap(
+            self.noc_config.line_size_bytes, self.n_nodes)
 
         self.l2s: List[DirectoryL2Controller] = []
         for node in range(self.n_nodes):
@@ -72,7 +84,7 @@ class DirectorySystem(BaseSystem):
         for mc_node in self.mc_nodes:
             mc = MemoryController(
                 mc_node, self.nics[mc_node],
-                owns_addr=lambda addr: True,  # MemReads are pre-routed
+                owns_addr=owns_every_addr,  # MemReads are pre-routed
                 config=self.memory_config, stats=self.stats, snoopy=False)
             self.engine.register(mc)
             self.memory_controllers.append(mc)

@@ -9,13 +9,13 @@ from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
 from repro.memory.controller import MemoryConfig, MemoryController
 from repro.noc.config import NocConfig, NotificationConfig
-from repro.noc.mesh import Mesh
+from repro.noc.mesh import Mesh, NicRvcOracle
 from repro.noc.multimesh import MultiMeshInterface
 from repro.notification.network import NotificationNetwork
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
 from repro.systems.base import default_mc_nodes
-from repro.memory.controller import make_memory_map
+from repro.memory.controller import OwnsMappedAddr, make_memory_map
 
 
 class MultiMeshScorpioSystem:
@@ -66,9 +66,9 @@ class MultiMeshScorpioSystem:
                 nic.attach_router(router)
             self.engine.register(nic)
             self.nics.append(nic)
+        rvc_oracle = NicRvcOracle(self.nics)
         for mesh in self.meshes:
-            mesh.set_rvc_oracle(
-                lambda node, sid, seq: self.nics[node].rvc_eligible(sid, seq))
+            mesh.set_rvc_oracle(rvc_oracle)
 
         self.notification_network = NotificationNetwork(
             width, height, self.notif_config, self.engine, self.stats)
@@ -86,8 +86,7 @@ class MultiMeshScorpioSystem:
         for mc_node in self.mc_nodes:
             mc = MemoryController(
                 mc_node, self.nics[mc_node],
-                owns_addr=(lambda n: lambda addr:
-                           self.memory_map(addr) == n)(mc_node),
+                owns_addr=OwnsMappedAddr(self.memory_map, mc_node),
                 config=self.memory_config, stats=self.stats, snoopy=True)
             self.engine.register(mc)
             self.memory_controllers.append(mc)

@@ -13,7 +13,8 @@ from typing import List, Optional, Sequence
 from repro.coherence.l2_controller import CacheConfig, L2Controller
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
-from repro.memory.controller import MemoryConfig, MemoryController
+from repro.memory.controller import (MemoryConfig, MemoryController,
+                                     OwnsMappedAddr)
 from repro.noc.config import NocConfig, NotificationConfig
 from repro.systems.base import BaseSystem
 
@@ -53,7 +54,7 @@ class ScorpioSystem(BaseSystem):
             self.attach_cores(traces, lambda node: self.l2s[node])
 
     def _owns_addr_fn(self, mc_node: int):
-        return lambda addr: self.memory_map(addr) == mc_node
+        return OwnsMappedAddr(self.memory_map, mc_node)
 
     # ------------------------------------------------------------------
     # Invariant checks (used by tests)

@@ -107,12 +107,17 @@ def _build_system(protocol: str, width: int, height: int, seed: int):
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
-def run_litmus_detailed(program: LitmusProgram, width: int = 3,
-                        height: int = 3, max_cycles: int = 100_000,
-                        seed: int = 0, protocol: str = "scorpio"
-                        ) -> Tuple[List[Observation], int]:
-    """Execute *program* on a live system; returns (observations,
-    runtime in cycles) — the form the ``litmus`` system builder caches."""
+def build_litmus_system(program: LitmusProgram, width: int = 3,
+                        height: int = 3, seed: int = 0,
+                        protocol: str = "scorpio"):
+    """Construct the (unrun) system for *program* with one
+    :class:`LitmusCore` per thread registered and stored on the system —
+    the checkpointable form of a litmus run.
+
+    The cores land in ``system.cores`` (so ``run_until_done`` stops when
+    every thread retires) and, in program order, in
+    ``system.litmus_cores`` (so observations can be collected after a
+    restore in a fresh process)."""
     n_nodes = width * height
     if len(program.threads) > n_nodes:
         raise ValueError("more threads than nodes")
@@ -122,14 +127,32 @@ def run_litmus_detailed(program: LitmusProgram, width: int = 3,
         core = LitmusCore(node, system.l2s[node], thread)
         system.engine.register(core)
         cores.append(core)
-    system.engine.run(max_cycles,
-                      until=lambda: all(c.finished for c in cores))
-    if not all(c.finished for c in cores):
-        raise RuntimeError(f"litmus {program.name} did not finish")
+        system.cores[node] = core
+    system.litmus_cores = cores
+    return system
+
+
+def litmus_observations(system) -> List[Observation]:
+    """Collect per-thread observations (program order) from a system
+    built by :func:`build_litmus_system`."""
     observations: List[Observation] = []
-    for core in cores:
+    for core in system.litmus_cores:
         observations.extend(core.observations)
-    return observations, system.engine.cycle
+    return observations
+
+
+def run_litmus_detailed(program: LitmusProgram, width: int = 3,
+                        height: int = 3, max_cycles: int = 100_000,
+                        seed: int = 0, protocol: str = "scorpio"
+                        ) -> Tuple[List[Observation], int]:
+    """Execute *program* on a live system; returns (observations,
+    runtime in cycles) — the form the ``litmus`` system builder caches."""
+    system = build_litmus_system(program, width=width, height=height,
+                                 seed=seed, protocol=protocol)
+    system.run_until_done(max_cycles)
+    if not system.all_cores_finished():
+        raise RuntimeError(f"litmus {program.name} did not finish")
+    return litmus_observations(system), system.engine.cycle
 
 
 def run_litmus(program: LitmusProgram, width: int = 3, height: int = 3,

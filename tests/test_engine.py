@@ -312,3 +312,111 @@ class TestStats:
         assert "engine.cycles_fast_forwarded" not in snap
         assert stats.get_meta("engine.cycles_fast_forwarded") == 123.0
         assert stats.get_meta("missing", 7.0) == 7.0
+
+
+class _EngineBox:
+    """Minimal system shape for snapshot_system: just an engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+
+class TestCheckpointRoundTrip:
+    """Engine edge cases across a snapshot/restore round trip: pending
+    stop requests, quiescence-mode flips (the mode must never leak into
+    or out of a checkpoint), and idle_until cells."""
+
+    def _round_trip(self, engine, tmp_path):
+        from repro.sim.checkpoint import restore_system, snapshot_system
+        path = tmp_path / "engine.ckpt"
+        snapshot_system(_EngineBox(engine), str(path))
+        _meta, box = restore_system(str(path))
+        return box.engine
+
+    def test_pending_stop_survives_restore(self, tmp_path):
+        engine = Engine()
+        engine.register(Counter())
+        engine.run(3)
+        engine.stop()
+        restored = self._round_trip(engine, tmp_path)
+        counter = restored._components[0]
+        # The pending stop travels: the restored engine's next run
+        # simulates zero cycles and consumes it, exactly like the
+        # original would have.
+        assert restored.run(10) == 0
+        assert restored.cycle == 3 and counter.value == 3
+        assert restored.run(2) == 2
+        assert counter.value == 5
+
+    def test_idle_cells_survive_restore(self, tmp_path):
+        engine = Engine(quiescence=True)
+        engine.register(Sleeper(10))
+        engine.run(5)           # stepped at 0, now sleeping until 10
+        with forced_quiescence(True):
+            restored = self._round_trip(engine, tmp_path)
+        sleeper = restored._components[0]
+        assert sleeper.step_cycles == [0]
+        before = restored.cycles_fast_forwarded
+        restored.run(20)        # cycles 5..24
+        # The sleep target survived: no step until 10, and the restored
+        # engine keeps fast-forwarding across the idle gaps.
+        assert sleeper.step_cycles == [0, 10, 20]
+        assert restored.cycles_fast_forwarded > before
+
+    def test_snapshot_on_restore_off(self, tmp_path):
+        engine = Engine(quiescence=True)
+        engine.register(Sleeper(10))
+        engine.run(5)
+        with forced_quiescence(False):
+            restored = self._round_trip(engine, tmp_path)
+        sleeper = restored._components[0]
+        assert restored.quiescence is False
+        assert sleeper._q_cell is None      # protocol fully detached
+        restored.run(20)
+        # Off mode ticks every component every cycle (idle_until becomes
+        # a no-op, exactly as in a natively-off engine) and never
+        # fast-forwards again.
+        assert sleeper.step_cycles == [0] + list(range(5, 25))
+        assert restored.cycles_fast_forwarded == \
+            engine.cycles_fast_forwarded    # none added after restore
+
+    def test_snapshot_off_restore_on(self, tmp_path):
+        engine = Engine(quiescence=False)
+        engine.register(Sleeper(10))
+        engine.run(5)
+        with forced_quiescence(True):
+            restored = self._round_trip(engine, tmp_path)
+        sleeper = restored._components[0]
+        assert restored.quiescence is True
+        assert sleeper._q_cell is not None  # protocol re-attached
+        before = restored.cycles_fast_forwarded
+        restored.run(20)
+        # Off mode stepped every cycle up to the snapshot; from the
+        # restore on, the sleep protocol re-engages (step at 5 declares
+        # idle until 15, and so on) and fast-forwarding resumes.
+        assert sleeper.step_cycles == [0, 1, 2, 3, 4, 5, 15]
+        assert restored.cycles_fast_forwarded > before
+
+    def test_env_var_controls_restored_mode(self, tmp_path, monkeypatch):
+        # The environment of the *restoring* process decides the mode —
+        # REPRO_QUIESCENCE=0 must win over a snapshot taken with it on.
+        engine = Engine(quiescence=True)
+        engine.register(Sleeper(10))
+        engine.run(5)
+        monkeypatch.setenv("REPRO_QUIESCENCE", "0")
+        restored = self._round_trip(engine, tmp_path)
+        assert restored.quiescence is False
+        monkeypatch.setenv("REPRO_QUIESCENCE", "1")
+        restored = self._round_trip(engine, tmp_path)
+        assert restored.quiescence is True
+
+    def test_engine_rng_stream_survives_restore(self, tmp_path):
+        engine = Engine(seed=7)
+        engine.register(Counter())
+        engine.run(2)
+        expected = [engine.random.random() for _ in range(3)]
+        fresh = Engine(seed=7)
+        fresh.register(Counter())
+        fresh.run(2)
+        restored = self._round_trip(fresh, tmp_path)
+        assert [restored.random.random() for _ in range(3)] == expected

@@ -52,7 +52,18 @@ class TestTimestampSoak:
 
 
 class TestUncorqSoak:
+    # Pinned regression (seed-failure triage, PR 7): this trace set made
+    # node 4's GETS stall long enough for Uncorq's retry timer to
+    # rebroadcast it under the same req_id; the original copy then won,
+    # completed the transaction and retired the MSHR, and the retry's
+    # own-request copy arrived MSHR-less — crashing `_process_own`
+    # instead of being dropped as stale (now counted under
+    # ``l2.snoops.stale_own``; the strict no-MSHR invariant still holds
+    # for non-retrying protocols like SCORPIO).
     @settings(max_examples=8, deadline=None)
+    @example(raw=[[], [("W", 2, 14)], [("W", 0, 2), ("W", 2, 1)], [],
+                  [("W", 2, 5), ("R", 2, 1)], [], [], [],
+                  [("R", 0, 1), ("R", 0, 1), ("R", 2, 1)]])
     @given(raw=traces_strategy(9))
     def test_completes_with_single_owner(self, raw):
         system = UncorqSystem(traces=build_traces(raw),
