@@ -244,13 +244,16 @@ def run_sweep(sweep: Union[Sweep, Iterable[Union[RunSpec, SystemSpec]]],
     results: List[Optional[SweepResult]] = [None] * len(specs)
     pending: List[Tuple[int, Union[RunSpec, SystemSpec], str]] = []
     duplicates: List[Tuple[int, Union[RunSpec, SystemSpec], str]] = []
+    version = code_version()
     if resolved_cache is None:
-        # No cache: skip fingerprinting entirely — hashing the package
-        # sources (code_version) and the expanded configs would be pure
-        # overhead on the default path.
-        pending = [(index, spec, "") for index, spec in enumerate(specs)]
+        # No cache to consult, but every result document still carries
+        # its identity: an envelope with an elided fingerprint can never
+        # be matched back to the run that produced it (or to a cached
+        # rerun of the same point) after the fact.  code_version() is
+        # memoized, so the cost is one hash per spec, not per call.
+        pending = [(index, spec, spec.fingerprint(code_version=version))
+                   for index, spec in enumerate(specs)]
     else:
-        version = code_version()
         first_pending: Dict[str, int] = {}
         for index, spec in enumerate(specs):
             fingerprint = spec.fingerprint(code_version=version)

@@ -29,7 +29,7 @@ from repro.noc.routing import LOCAL
 from repro.noc.sid_tracker import SidTracker
 from repro.noc.vc import CreditTracker
 from repro.notification.tracker import NotificationTracker
-from repro.sim.engine import Clocked
+from repro.sim.engine import Clocked, EventWheel
 from repro.sim.stats import StatsRegistry
 
 INJECT_TO_ROUTER_DELAY = 2   # NIC "ST" + injection link
@@ -72,11 +72,16 @@ class NetworkInterface(Clocked):
         self._consumed_counts: Dict[int, int] = {}
 
         # --- receive side ------------------------------------------------
-        self._arrivals: List[Tuple[int, Packet, VNet, int]] = []
+        self._arrivals = EventWheel()
         self._held_goreq: Dict[int, Tuple[Packet, int, int]] = {}
         self._req_fifo: Deque[Tuple[Packet, int, int]] = deque()
         self._resp_queue: Deque[Tuple[Packet, int]] = deque()
-        self._credit_returns: List[Tuple[int, VNet, int, int]] = []
+        self._credit_returns = EventWheel()
+        # (router, outport) pairs whose reserved-VC eligibility questions
+        # this NIC answers (ours + its mesh neighbours); poked on every
+        # ordering advance so their blocked-VC memos re-ask.  Filled by
+        # attach_router when the rVC is in play.
+        self._rvc_watchers: List[Tuple[Router, int]] = []
         self._request_listeners: List[Callable[[Any, int, int, int], None]] = []
         self._response_listeners: List[Callable[[Any, int], None]] = []
         # Back-pressure from the cache controller: when the gate returns
@@ -110,6 +115,9 @@ class NetworkInterface(Clocked):
             self.noc_config.goreq_vcs, self.noc_config.goreq_vc_depth,
             self.noc_config.uoresp_vcs, uoresp_depth,
             self.noc_config.reserved_vc)
+        if self.ordering_enabled and self.noc_config.reserved_vc \
+                and hasattr(router, "rvc_watchers"):
+            self._rvc_watchers.extend(router.rvc_watchers())
 
     def add_request_listener(
             self, fn: Callable[[Any, int, int, int], None]) -> None:
@@ -184,7 +192,21 @@ class NetworkInterface(Clocked):
         consumed = self._consumed_counts.get(sid, 0)
         if 0 <= seq < consumed:
             return True
-        return seq == consumed and self.tracker.current_esid() == sid
+        if seq != consumed:
+            return False
+        # Inline of tracker.current_esid()'s hot path; this query runs
+        # once per blocked GO-REQ VC per arbitration scan mesh-wide.
+        expansion = self.tracker._expansion
+        if expansion:
+            return expansion[0] == sid
+        return self.tracker.current_esid() == sid
+
+    def _note_order_progress(self) -> None:
+        """Ordering advanced (tracker push or ESID consume): every
+        answer :meth:`rvc_eligible` gave may have flipped from False to
+        True, so wake the routers that may be sleeping on it."""
+        for router, port in self._rvc_watchers:
+            router.note_order_progress(port)
 
     # ------------------------------------------------------------------
     # Notification network hooks
@@ -225,8 +247,10 @@ class NetworkInterface(Clocked):
         if core_bits:
             self.tracker.push(core_bits)
             # The ESID may now match a held request: resume ticking (a
-            # NIC blocked on the global order sleeps between windows).
+            # NIC blocked on the global order sleeps between windows),
+            # and re-ask any router whose rVC was waiting on our order.
             self.wake()
+            self._note_order_progress()
 
     # ------------------------------------------------------------------
     # Main-network downstream interface (ejection side)
@@ -234,7 +258,8 @@ class NetworkInterface(Clocked):
 
     def deliver_packet(self, packet: Packet, inport: int, vnet: VNet,
                        vc_index: int, arrive_cycle: int) -> None:
-        self._arrivals.append((arrive_cycle, packet, vnet, vc_index))
+        self._arrivals.push(arrive_cycle,
+                            (arrive_cycle, packet, vnet, vc_index))
         self.wake(arrive_cycle)
 
     def deliver_lookahead(self, la: Lookahead, process_cycle: int) -> None:
@@ -243,7 +268,7 @@ class NetworkInterface(Clocked):
     def queue_credit_release(self, outport: int, vnet: VNet, vc: int,
                              flits: int, cycle: int) -> None:
         """Router's LOCAL input VC freed — injection credit returns."""
-        self._credit_returns.append((cycle, vnet, vc, flits))
+        self._credit_returns.push(cycle, (cycle, vnet, vc, flits))
         self.wake(cycle)
 
     # ------------------------------------------------------------------
@@ -312,10 +337,10 @@ class NetworkInterface(Clocked):
     def _pending_event_cycles(self):
         """Due cycles of queued future events (already-due ones were
         consumed by this step)."""
-        for entry in self._credit_returns:
-            yield entry[0]
-        for entry in self._arrivals:
-            yield entry[0]
+        if self._credit_returns:
+            yield self._credit_returns.min_due
+        if self._arrivals:
+            yield self._arrivals.min_due
 
     def _inject_blocked(self) -> bool:
         """True when every non-empty inject queue is provably stuck
@@ -334,37 +359,36 @@ class NetworkInterface(Clocked):
         return True
 
     def _apply_credit_returns(self, cycle: int) -> None:
-        if not self._credit_returns:
+        if self._credit_returns.min_due > cycle:
             return
-        due = [e for e in self._credit_returns if e[0] <= cycle]
-        if not due:
-            return
-        self._credit_returns = [e for e in self._credit_returns
-                                if e[0] > cycle]
-        for _cycle, vnet, vc, flits in due:
+        for _cycle, vnet, vc, flits in self._credit_returns.pop_due(cycle):
             self._inject_credits.release(vnet, vc, flits)
             if vnet == VNet.GO_REQ and self._inject_credits.vc_free(vnet, vc):
                 self._inject_sid_tracker.clear_vc(vc)
 
     def _accept_arrivals(self, cycle: int) -> None:
-        if not self._arrivals:
+        if self._arrivals.min_due > cycle:
             return
-        due = [a for a in self._arrivals if a[0] <= cycle]
-        if not due:
-            return
-        self._arrivals = [a for a in self._arrivals if a[0] > cycle]
-        for arrive_cycle, packet, vnet, vc_index in due:
-            if vnet == VNet.GO_REQ:
-                if not self.ordering_enabled:
-                    self._req_fifo.append((packet, vc_index, arrive_cycle))
-                    continue
-                if packet.sid in self._held_goreq:
-                    raise RuntimeError(
-                        f"NIC {self.node}: two held requests share SID "
-                        f"{packet.sid} — point-to-point ordering violated")
-                self._held_goreq[packet.sid] = (packet, vc_index, arrive_cycle)
-            else:
-                self._resp_queue.append((packet, vc_index))
+        for arrive_cycle, packet, vnet, vc_index in self._arrivals.pop_due(cycle):
+            self._accept_one(cycle, arrive_cycle, packet, vnet, vc_index)
+
+    def _accept_one(self, cycle: int, arrive_cycle: int, packet: Packet,
+                    vnet: VNet, vc_index: int) -> None:
+        """Classify one due arrival.  Overridden by the ordering
+        baselines (INSO slot parking, UNCORQ response diversion, ...);
+        items arrive here in (due cycle, delivery order), exactly the
+        order the old flat-list scan produced."""
+        if vnet == VNet.GO_REQ:
+            if not self.ordering_enabled:
+                self._req_fifo.append((packet, vc_index, arrive_cycle))
+                return
+            if packet.sid in self._held_goreq:
+                raise RuntimeError(
+                    f"NIC {self.node}: two held requests share SID "
+                    f"{packet.sid} — point-to-point ordering violated")
+            self._held_goreq[packet.sid] = (packet, vc_index, arrive_cycle)
+        else:
+            self._resp_queue.append((packet, vc_index))
 
     def _deliver_ordered(self, cycle: int) -> None:
         """Forward the expected request(s) to the cache controller."""
@@ -392,6 +416,7 @@ class NetworkInterface(Clocked):
         packet, vc_index, arrive_cycle = self._held_goreq.pop(esid)
         self.tracker.consume_esid()
         self._consumed_counts[esid] = self._consumed_counts.get(esid, 0) + 1
+        self._note_order_progress()
         self._return_eject_credit(cycle, packet, VNet.GO_REQ, vc_index)
         for listener in self._request_listeners:
             listener(packet.payload, packet.sid, cycle, arrive_cycle)

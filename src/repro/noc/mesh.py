@@ -60,8 +60,19 @@ class Mesh:
         return self._rvc_ok(node, sid, seq)
 
     def set_rvc_oracle(self, fn: Callable[[int, int, int], bool]) -> None:
-        """Install the NIC oracle answering reserved-VC eligibility."""
+        """Install the NIC oracle answering reserved-VC eligibility.
+
+        The oracle is pushed into each router directly — ``rvc_ok`` sits
+        on the VC-selection hot path, so the per-call indirection through
+        the mesh is worth removing.  An oracle exposing its ``nics``
+        additionally lets each router bind its outports straight to the
+        downstream NICs' ``rvc_eligible``."""
         self._rvc_ok = fn
+        nics = getattr(fn, "nics", None)
+        for router in self.routers:
+            router.rvc_ok = fn
+            if nics is not None:
+                router.bind_rvc_direct(nics)
 
     def set_broadcast_filter(self, bcast_filter) -> None:
         """Install an INCF :class:`~repro.noc.filtering.BroadcastFilter`

@@ -30,6 +30,7 @@ from repro.noc.router import LOOKAHEAD_DELAY, Lookahead, Router
 from repro.noc.routing import LOCAL
 from repro.noc.sid_tracker import SidTracker
 from repro.noc.vc import CreditTracker
+from repro.sim.engine import EventWheel
 from repro.sim.stats import StatsRegistry
 
 
@@ -50,8 +51,8 @@ class MeshTap:
         pass
 
     def queue_credit_release(self, outport, vnet, vc, flits, cycle):
-        self.nic._tagged_credit_returns.append(
-            (cycle, self.index, vnet, vc, flits))
+        self.nic._tagged_credit_returns.push(
+            cycle, (cycle, self.index, vnet, vc, flits))
         self.nic.wake(cycle)
 
 
@@ -67,7 +68,7 @@ class MultiMeshInterface(NetworkInterface):
         self.routers: List[Router] = []
         self._mesh_credits: List[CreditTracker] = []
         self._mesh_sid_trackers: List[SidTracker] = []
-        self._tagged_credit_returns: List = []
+        self._tagged_credit_returns = EventWheel()
         self._router_of_pid = {}
         self._resp_rr = 0
 
@@ -79,6 +80,11 @@ class MultiMeshInterface(NetworkInterface):
         """Called once per mesh, in mesh order."""
         if not self.routers:
             super().attach_router(router)   # keep base invariants
+        elif self.ordering_enabled and self.noc_config.reserved_vc \
+                and hasattr(router, "rvc_watchers"):
+            # Every mesh shares the one rVC oracle, so routers of later
+            # meshes sleep on our ordering state too.
+            self._rvc_watchers.extend(router.rvc_watchers())
         self.routers.append(router)
         depth = max(self.noc_config.uoresp_vc_depth,
                     self.noc_config.data_flits)
@@ -108,8 +114,8 @@ class MultiMeshInterface(NetworkInterface):
 
     def _pending_event_cycles(self):
         yield from super()._pending_event_cycles()
-        for entry in self._tagged_credit_returns:
-            yield entry[0]
+        if self._tagged_credit_returns:
+            yield self._tagged_credit_returns.min_due
 
     def _inject_blocked(self) -> bool:
         # _mesh_for mutates the response round-robin pointer, so the base
@@ -120,14 +126,9 @@ class MultiMeshInterface(NetworkInterface):
 
     def _apply_credit_returns(self, cycle: int) -> None:
         super()._apply_credit_returns(cycle)
-        if not self._tagged_credit_returns:
+        if self._tagged_credit_returns.min_due > cycle:
             return
-        due = [e for e in self._tagged_credit_returns if e[0] <= cycle]
-        if not due:
-            return
-        self._tagged_credit_returns = [
-            e for e in self._tagged_credit_returns if e[0] > cycle]
-        for _c, mesh, vnet, vc, flits in due:
+        for _c, mesh, vnet, vc, flits in self._tagged_credit_returns.pop_due(cycle):
             credits = self._mesh_credits[mesh]
             credits.release(vnet, vc, flits)
             if vnet == VNet.GO_REQ and credits.vc_free(vnet, vc):

@@ -55,7 +55,7 @@ def set_packet_id_state(value: int) -> None:
     _next_packet_id = int(value)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One main-network packet.
 

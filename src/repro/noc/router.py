@@ -25,6 +25,23 @@ priority.  Point-to-point ordering is enforced with per-output-port SID
 trackers, and deadlock avoidance uses one reserved VC (rVC) per input
 port, assignable only to the request whose SID equals the ESID of the NIC
 attached to the downstream router.
+
+Event scheduling
+----------------
+Inbound channels (arrivals, lookaheads, credit returns) queue in
+:class:`~repro.sim.engine.EventWheel` buckets, so an awake router touches
+only the events due this cycle.  Saturated-but-blocked ports are handled
+by a *blocked-VC memo*: when a full SA-I scan of an input port proves no
+VC can be granted, the port records the proof against an *unblock
+serial* plus the earliest time-based retry (a ``ready_cycle`` or
+``port_free_at`` threshold).  The proof stands — and the scan is skipped,
+or the whole router sleeps — until the retry cycle arrives or the serial
+is bumped by an event that can flip an eligibility answer: a credit
+return, a bypass rollback, or an adjacent NIC's ordering progress
+(:meth:`Router.note_order_progress`, which re-answers ``rvc_ok``).
+Skipped scans are provably no-ops (an all-false request vector never
+rotates an arbiter), so cycle-for-cycle identity with the naive kernel
+is preserved; the differential suite enforces it.
 """
 
 from __future__ import annotations
@@ -39,7 +56,7 @@ from repro.noc.routing import (DIRECTIONS, LOCAL, broadcast_outports,
                                opposite, xy_route)
 from repro.noc.sid_tracker import SidTracker
 from repro.noc.vc import CreditTracker, InputPort
-from repro.sim.engine import Clocked
+from repro.sim.engine import WAKE_NEVER, Clocked, EventWheel
 from repro.sim.stats import StatsRegistry
 
 # Pipeline latency constants (cycles), per the module docstring.
@@ -49,11 +66,12 @@ LOOKAHEAD_DELAY = 1           # emission -> processed at neighbour
 EJECT_DELAY = 1               # ST cycle -> packet visible at the NIC
 
 # All five router ports, built once: the per-cycle loops below run
-# hundreds of thousands of times per simulation.
+# hundreds of thousands of times per simulation.  Ports are small ints
+# (0..4), so per-port state lives in flat 5-element lists.
 PORTS = (*DIRECTIONS, LOCAL)
 
 
-@dataclass
+@dataclass(slots=True)
 class Lookahead:
     """Control info sent one cycle ahead of a flit (free wiring: it reuses
     the conventional header fields — Sec. 3.2)."""
@@ -68,7 +86,7 @@ def rvc_never(_node: int, _sid: int, _seq: int) -> bool:
     return False
 
 
-@dataclass
+@dataclass(slots=True)
 class _BypassGrant:
     arrival_cycle: int
     outports: FrozenSet[int]
@@ -88,41 +106,80 @@ class Router(Clocked):
         # rvc_ok(downstream_node, sid, seq): reserved-VC eligibility,
         # answered by the downstream node's NIC (deadlock avoidance).
         self.rvc_ok = rvc_ok or rvc_never
-        w, h = config.width, config.height
         uoresp_depth = max(config.uoresp_vc_depth, config.data_flits)
         self._uoresp_depth = uoresp_depth
 
-        self.inports: Dict[int, InputPort] = {}
-        for port in PORTS:
-            self.inports[port] = InputPort(
-                config.goreq_vcs, config.goreq_vc_depth,
-                config.uoresp_vcs, uoresp_depth, config.reserved_vc)
+        self.inports: List[InputPort] = [
+            InputPort(config.goreq_vcs, config.goreq_vc_depth,
+                      config.uoresp_vcs, uoresp_depth, config.reserved_vc)
+            for _port in PORTS]
         # The VC population of a port never changes after construction;
         # snapshot the non-reserved buffers SA-I arbitrates over.
-        self._normal_vcs = {
-            port: [vc for vc in self.inports[port].all_buffers()
-                   if not vc.reserved]
-            for port in PORTS}
+        self._normal_vcs = [
+            [vc for vc in self.inports[port].all_buffers()
+             if not vc.reserved]
+            for port in PORTS]
+        self._rvc_bufs: Optional[List] = None
+        if config.reserved_vc:
+            rvc_index = config.reserved_vc_index()
+            self._rvc_bufs = [self.inports[port].vc(VNet.GO_REQ, rvc_index)
+                              for port in PORTS]
 
-        # Downstream objects: port -> (endpoint, endpoint node id).  The
-        # endpoint must offer deliver_packet / deliver_lookahead /
-        # queue_credit_release; LOCAL's endpoint is the NIC.
-        self.downstream: Dict[int, Tuple[object, int]] = {}
-        self.out_credits: Dict[int, CreditTracker] = {}
-        self.sid_trackers: Dict[int, SidTracker] = {}
-        self.port_free_at: Dict[int, int] = {}
+        # Downstream objects: port -> (endpoint, endpoint node id), None
+        # while unconnected.  The endpoint must offer deliver_packet /
+        # deliver_lookahead / queue_credit_release; LOCAL's endpoint is
+        # the NIC.
+        self.downstream: List[Optional[Tuple[object, int]]] = [None] * 5
+        self.out_credits: List[Optional[CreditTracker]] = [None] * 5
+        self.sid_trackers: List[Optional[SidTracker]] = [None] * 5
+        self._sid_counts: List[Optional[Dict[int, int]]] = [None] * 5
+        self.port_free_at: List[int] = [0] * 5
+        # Per-outport VC availability, maintained incrementally at every
+        # out_credits consume/release (all of which happen in this class)
+        # so the SA-I scan never recomputes it.  Unconnected ports stay
+        # False.
+        self._goreq_free: List[bool] = [False] * 5
+        self._uoresp_free: List[bool] = [False] * 5
+        self._rvc_free: List[bool] = [False] * 5
+        # Direct per-outport reserved-VC query functions (the downstream
+        # NIC's ``rvc_eligible``), installed by Mesh.set_rvc_oracle when
+        # the oracle exposes its NICs; None falls back to self.rvc_ok.
+        # Cuts two call layers out of the hottest VC-selection query.
+        self._rvc_fns: List[Optional[Callable[[int, int], bool]]] = [None] * 5
 
-        self._sa_i = {port: RotatingPriorityArbiter(
-            self._vc_slots()) for port in PORTS}
-        self._sa_o: Dict[int, RotatingPriorityArbiter] = {}
-        self._la_arb: Dict[int, RotatingPriorityArbiter] = {}
+        self._sa_i = [RotatingPriorityArbiter(self._vc_slots())
+                      for _port in PORTS]
+        self._sa_o: List[Optional[RotatingPriorityArbiter]] = [None] * 5
+        self._la_arb: List[Optional[RotatingPriorityArbiter]] = [None] * 5
 
-        self._arrivals: List[Tuple[int, Packet, int, VNet, int]] = []
-        self._lookaheads: List[Tuple[int, Lookahead]] = []
-        self._credit_returns: List[Tuple[int, int, VNet, int, int]] = []
+        self._arrivals = EventWheel()
+        self._lookaheads = EventWheel()
+        self._credit_returns = EventWheel()
         self._bypass_grants: Dict[int, _BypassGrant] = {}
         self._n_buffered = 0
-        self._port_buffered: Dict[int, int] = {port: 0 for port in PORTS}
+        self._port_buffered: List[int] = [0] * 5
+        # Unblock serials: _gser counts every event at this router that
+        # could flip a VC-eligibility answer; _pser[p] counts only the
+        # events scoped to output port p (credit returns to p, rollbacks
+        # touching p, order progress at p's downstream NIC).
+        self._gser = 0
+        self._pser: List[int] = [0] * 5
+        # Blocked-VC memo, per input port:
+        # [gser, retry_cycle, outport_mask, pser0..pser4].  Valid while
+        # the cycle is below retry_cycle AND either gser is current (fast
+        # path: nothing changed at all) or every outport in the mask —
+        # the ports whose state the blocked proof examined — still has
+        # its snapshotted serial; see the module docstring.
+        # [-1, 0, ...] = never valid.
+        self._inport_memo: List[List[int]] = [
+            [-1, 0, 0, 0, 0, 0, 0, 0] for _port in PORTS]
+        # Same proof shape per normal VC (slot order of _normal_vcs):
+        # skips one VC's outport scan inside a partially-eligible port,
+        # where the inport-level memo cannot apply.
+        self._vc_memo: List[List[List[int]]] = [
+            [[-1, 0, 0, 0, 0, 0, 0, 0] for _vc in self._normal_vcs[port]]
+            for port in PORTS]
+        self._goreq_nvcs = config.goreq_vcs
         # Optional INCF broadcast filter (repro.noc.filtering); installed
         # by Mesh.set_broadcast_filter on unordered-broadcast systems.
         self.broadcast_filter = None
@@ -143,9 +200,46 @@ class Router(Clocked):
             self.config.uoresp_vcs, self._uoresp_depth,
             self.config.reserved_vc)
         self.sid_trackers[port] = SidTracker()
+        # Direct ref to the tracker's count table (mutated in place,
+        # never reassigned; pickle keeps the sharing): the SA-I scan
+        # tests SID blockage without two attribute hops.
+        self._sid_counts[port] = self.sid_trackers[port]._sid_count
         self.port_free_at[port] = 0
         self._sa_o[port] = RotatingPriorityArbiter(5)
         self._la_arb[port] = RotatingPriorityArbiter(5)
+        self._refresh_avail(port)
+
+    def _refresh_avail(self, port: int) -> None:
+        """Re-derive the cached availability booleans of *port* from its
+        credit tracker (call after any consume/release on it)."""
+        credits = self.out_credits[port]
+        free_mask = credits._free_mask
+        self._goreq_free[port] = free_mask[0] != 0
+        self._uoresp_free[port] = free_mask[1] != 0
+        reserved = credits._reserved_index
+        if reserved is not None:
+            self._rvc_free[port] = (credits._credits[0][reserved]
+                                    == credits._depth[0])
+
+    def bind_rvc_direct(self, nics) -> None:
+        """Bind each connected outport's rVC eligibility query straight to
+        the downstream node's NIC (*nics* is indexed by node id)."""
+        for port in PORTS:
+            entry = self.downstream[port]
+            if entry is not None:
+                self._rvc_fns[port] = nics[entry[1]].rvc_eligible
+
+    def rvc_watchers(self) -> List[Tuple["Router", int]]:
+        """(router, outport) pairs whose rVC eligibility questions this
+        node's NIC answers: this router's LOCAL outport plus every mesh
+        neighbour's outport pointing here.  The NIC pokes each via
+        :meth:`note_order_progress` when its ordering advances."""
+        watchers: List[Tuple[Router, int]] = [(self, LOCAL)]
+        for port in DIRECTIONS:
+            entry = self.downstream[port]
+            if entry is not None:
+                watchers.append((entry[0], opposite(port)))
+        return watchers
 
     # ------------------------------------------------------------------
     # Interface used by upstream routers / the local NIC
@@ -153,88 +247,177 @@ class Router(Clocked):
 
     def deliver_packet(self, packet: Packet, inport: int, vnet: VNet,
                        vc_index: int, arrive_cycle: int) -> None:
-        self._arrivals.append((arrive_cycle, packet, inport, vnet, vc_index))
+        self._arrivals.push(arrive_cycle,
+                            (arrive_cycle, packet, inport, vnet, vc_index))
         self.wake(arrive_cycle)
 
     def deliver_lookahead(self, la: Lookahead, process_cycle: int) -> None:
-        self._lookaheads.append((process_cycle, la))
+        if not self.config.lookahead_bypass:
+            return
+        self._lookaheads.push(process_cycle, (process_cycle, la))
         self.wake(process_cycle)
 
     def queue_credit_release(self, outport: int, vnet: VNet, vc: int,
                              flits: int, cycle: int) -> None:
-        self._credit_returns.append((cycle, outport, vnet, vc, flits))
+        self._credit_returns.push(cycle, (cycle, outport, vnet, vc, flits))
         self.wake(cycle)
+
+    def note_order_progress(self, port: int) -> None:
+        """The NIC downstream of *port* advanced its global ordering, so
+        ``rvc_ok`` answers for that outport may flip from False to True:
+        invalidate blocked-VC proofs that examined it and re-arbitrate
+        next cycle."""
+        self._gser += 1
+        self._pser[port] += 1
+        self.wake()
 
     # ------------------------------------------------------------------
     # Per-cycle behaviour
     # ------------------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        if not (self._arrivals or self._lookaheads or self._credit_returns
-                or self._n_buffered):
+        arrivals = self._arrivals
+        lookaheads = self._lookaheads
+        credit_returns = self._credit_returns
+        if not (self._n_buffered or arrivals._count or lookaheads._count
+                or credit_returns._count):
             # Completely idle: sleep until something is delivered (every
             # inbound channel wakes us with its due cycle).
             self.idle_until(None)
             return
-        self._apply_credit_returns(cycle)
-        self._process_arrivals(cycle)
-        if self._n_buffered:
-            self._arbitrate_reserved(cycle)
-        self._process_lookaheads(cycle)
-        if self._n_buffered:
-            self._arbitrate_buffered(cycle)
+        if credit_returns.min_due <= cycle:
+            self._apply_credit_returns(cycle)
+        if arrivals.min_due <= cycle:
+            self._process_arrivals(cycle)
+        run_arb = self._n_buffered > 0
+        if run_arb:
+            gser = self._gser
+            memo = self._inport_memo
+            # A port's memo proves every VC scan up to its retry cycle is
+            # a no-op — unless an unblock event touched an outport the
+            # proof examined (see _memo_valid).
+            skip = [False] * 5
+            port_buffered = self._port_buffered
+            for inport in PORTS:
+                if port_buffered[inport]:
+                    m = memo[inport]
+                    if cycle < m[1] and (m[0] == gser
+                                         or self._memo_valid(m, cycle, gser)):
+                        skip[inport] = True
+            retry = [WAKE_NEVER] * 5
+            elig = [False] * 5
+            masks = [0] * 5
+            self._arbitrate_reserved(cycle, skip, retry, elig, masks)
+        if lookaheads.min_due <= cycle:
+            self._process_lookaheads(cycle)
+        if run_arb and self._n_buffered:
+            self._arbitrate_buffered(cycle, skip, retry, elig, masks)
+            port_buffered = self._port_buffered
+            pser = self._pser
+            for inport in PORTS:
+                if (not skip[inport] and not elig[inport]
+                        and port_buffered[inport]):
+                    m = memo[inport]
+                    m[0] = gser
+                    m[1] = retry[inport]
+                    m[2] = masks[inport]
+                    m[3:8] = pser
+        self._plan_sleep(cycle)
+
+    def _memo_valid(self, m: List[int], cycle: int, gser: int) -> bool:
+        """Is this blocked-VC proof still current?  Fast path: no event
+        fired anywhere since it was written.  Slow path: events fired,
+        but none touched an outport the proof examined — refresh the
+        proof's gser so the fast path works again."""
+        if cycle >= m[1]:
+            return False
+        if m[0] == gser:
+            return True
+        mask = m[2]
+        pser = self._pser
+        port = 3
+        while mask:
+            if (mask & 1) and pser[port - 3] != m[port]:
+                return False
+            mask >>= 1
+            port += 1
+        m[0] = gser
+        return True
+
+    def _plan_sleep(self, cycle: int) -> None:
         if not self._n_buffered:
             # Nothing buffered: the only work before the next queued due
-            # cycle is re-partitioning not-yet-due queues — a no-op.
+            # cycle is popping not-yet-due buckets — a no-op.
             self.idle_until(self._next_due_cycle())
+            return
+        # Busy but possibly fully blocked: sleep until the earliest queued
+        # event or memoized retry, provided every occupied port's blocked
+        # proof is current.  Credit returns, new arrivals/lookaheads and
+        # NIC order progress all wake us before anything can change.
+        wake_at = self._arrivals.min_due
+        due = self._lookaheads.min_due
+        if due < wake_at:
+            wake_at = due
+        due = self._credit_returns.min_due
+        if due < wake_at:
+            wake_at = due
+        gser = self._gser
+        memo = self._inport_memo
+        for inport in PORTS:
+            if self._port_buffered[inport]:
+                m = memo[inport]
+                if not (cycle < m[1] and (m[0] == gser
+                                          or self._memo_valid(m, cycle, gser))):
+                    return          # no current proof: arbitrate next cycle
+                if m[1] < wake_at:
+                    wake_at = m[1]
+        self.idle_until(None if wake_at >= WAKE_NEVER else wake_at)
 
     def _next_due_cycle(self) -> Optional[int]:
         """Earliest due cycle across the inbound queues (None if empty)."""
-        nxt = None
-        for queue in (self._arrivals, self._lookaheads,
-                      self._credit_returns):
-            for entry in queue:
-                due = entry[0]
-                if nxt is None or due < nxt:
-                    nxt = due
-        return nxt
-
+        nxt = min(self._arrivals.min_due, self._lookaheads.min_due,
+                  self._credit_returns.min_due)
+        return None if nxt >= WAKE_NEVER else nxt
 
     # -- credits --------------------------------------------------------
 
     def _apply_credit_returns(self, cycle: int) -> None:
-        if not self._credit_returns:
-            return
-        due, later = [], []
-        for entry in self._credit_returns:
-            (due if entry[0] <= cycle else later).append(entry)
+        due = self._credit_returns.pop_due(cycle)
         if not due:
             return
-        self._credit_returns = later
+        # Fresh credits can unblock VC scans that examined their port.
+        self._gser += 1
+        pser = self._pser
+        out_credits = self.out_credits
+        sid_trackers = self.sid_trackers
         for _cycle, outport, vnet, vc, flits in due:
-            self.out_credits[outport].release(vnet, vc, flits)
-            if vnet == VNet.GO_REQ and self.out_credits[outport].vc_free(vnet, vc):
-                self.sid_trackers[outport].clear_vc(vc)
+            pser[outport] += 1
+            credits = out_credits[outport]
+            credits.release(vnet, vc, flits)
+            if vnet == VNet.GO_REQ and credits.vc_free(vnet, vc):
+                sid_trackers[outport].clear_vc(vc)
+            self._refresh_avail(outport)
 
     # -- arrivals -------------------------------------------------------
 
     def _process_arrivals(self, cycle: int) -> None:
-        if not self._arrivals:
-            return
-        due, later = [], []
-        for entry in self._arrivals:
-            (due if entry[0] <= cycle else later).append(entry)
-        if not due:
-            return
-        self._arrivals = later
+        due = self._arrivals.pop_due(cycle)
         for _cycle, packet, inport, vnet, vc_index in due:
             grant = self._bypass_grants.pop(packet.pid, None)
             if (grant is not None and grant.arrival_cycle == cycle
                     and grant.inport == inport):
                 self._bypass_transit(cycle, packet, inport, vnet, vc_index, grant)
             else:
-                if grant is not None:   # stale grant (should not happen)
+                if grant is not None:
+                    # A pre-allocation whose packet missed its slot.  The
+                    # bypass contract makes this unreachable today (the
+                    # grant is issued exactly one cycle before a already-
+                    # queued arrival), so any hit means a timing-model
+                    # change broke that contract: roll the crossbar and
+                    # credits back, buffer normally, and count it so the
+                    # drift is visible in stats rather than silent.
                     self._rollback_grant(cycle, vnet, packet, grant)
+                    self.stats.incr("router.grants.stale")
                 outports = self._route(packet, inport)
                 if not outports:
                     # INCF filtered every remaining branch (interest
@@ -248,6 +431,14 @@ class Router(Clocked):
                     packet, outports, cycle, BUFFERED_PIPELINE_DELAY)
                 self._n_buffered += 1
                 self._port_buffered[inport] += 1
+                m = self._inport_memo[inport]    # new VC to consider
+                m[0] = -1
+                m[1] = 0
+                # The slot's per-VC proof belongs to the previous packet.
+                if vnet == VNet.UO_RESP:
+                    self._vc_memo[inport][self._goreq_nvcs + vc_index][1] = 0
+                elif vc_index < self._goreq_nvcs:
+                    self._vc_memo[inport][vc_index][1] = 0
                 self.stats.incr("noc.router.buffered")
 
     def _bypass_transit(self, cycle: int, packet: Packet, inport: int,
@@ -263,10 +454,14 @@ class Router(Clocked):
 
     def _rollback_grant(self, cycle: int, vnet: VNet, packet: Packet,
                         grant: _BypassGrant) -> None:
+        # Returning the pre-allocated credits can unblock VC scans.
+        self._gser += 1
         for outport, vc in grant.granted_vcs.items():
+            self._pser[outport] += 1
             self.out_credits[outport].release(vnet, vc, packet.size_flits)
             if vnet == VNet.GO_REQ:
                 self.sid_trackers[outport].clear_vc(vc)
+            self._refresh_avail(outport)
 
     def _release_upstream(self, cycle: int, packet: Packet, inport: int,
                           vnet: VNet, vc_index: int) -> None:
@@ -279,14 +474,11 @@ class Router(Clocked):
 
     def _upstream_endpoint(self, inport: int) -> Optional[Tuple[object, int]]:
         """The (endpoint, its outport) feeding our *inport*."""
-        if inport == LOCAL:
-            entry = self.downstream.get(LOCAL)
-            if entry is None:
-                return None
-            return entry[0], LOCAL
-        entry = self.downstream.get(inport)
+        entry = self.downstream[LOCAL if inport == LOCAL else inport]
         if entry is None:
             return None
+        if inport == LOCAL:
+            return entry[0], LOCAL
         return entry[0], opposite(inport)
 
     # -- routing --------------------------------------------------------
@@ -308,30 +500,66 @@ class Router(Clocked):
 
     # -- reserved-VC packets (highest priority) -------------------------
 
-    def _arbitrate_reserved(self, cycle: int) -> None:
-        if not self.config.reserved_vc:
+    def _arbitrate_reserved(self, cycle: int, skip: List[bool],
+                            retry: List[int], elig: List[bool],
+                            masks: List[int]) -> None:
+        rvc_bufs = self._rvc_bufs
+        if rvc_bufs is None:
             return
-        rvc_index = self.config.reserved_vc_index()
+        port_free_at = self.port_free_at
         for inport in PORTS:
-            vc = self.inports[inport].vc(VNet.GO_REQ, rvc_index)
-            if not vc.occupied or vc.ready_cycle > cycle:
+            if skip[inport]:
                 continue
-            self._try_forward(cycle, inport, VNet.GO_REQ, vc)
+            vc = rvc_bufs[inport]
+            if vc.packet is None:
+                continue
+            if vc.ready_cycle > cycle:
+                if vc.ready_cycle < retry[inport]:
+                    retry[inport] = vc.ready_cycle
+                continue
+            ports = self._requestable_outports(cycle, vc)
+            if ports:
+                elig[inport] = True
+                for port in ports:
+                    if vc.packet is None:
+                        break
+                    self._forward_through(cycle, inport, vc, port)
+            else:
+                # Classify for the memo: time-gated ports feed the retry
+                # cycle; ports checked and refused feed the mask (their
+                # answers only flip via that port's own serial).
+                min_retry = retry[inport]
+                mask = masks[inport]
+                for port in vc.pending_outports:
+                    free_at = port_free_at[port]
+                    if free_at > cycle:
+                        if free_at < min_retry:
+                            min_retry = free_at
+                    else:
+                        mask |= 1 << port
+                retry[inport] = min_retry
+                masks[inport] = mask
 
     # -- lookahead processing -------------------------------------------
 
     def _process_lookaheads(self, cycle: int) -> None:
-        if not self.config.lookahead_bypass:
-            self._lookaheads = []
-            return
-        if not self._lookaheads:
-            return
-        due, later = [], []
-        for entry in self._lookaheads:
-            (due if entry[0] <= cycle else later).append(entry)
+        due = self._lookaheads.pop_due(cycle)
         if not due:
             return
-        self._lookaheads = later
+        if len(due) == 1:
+            # Lone lookahead: it wins every arbiter it requests (the
+            # pointers still rotate, identically to the general path).
+            la = due[0][1]
+            outports = self._route(la.packet, la.inport)
+            if not outports:
+                return
+            lines = [False] * 5
+            lines[la.inport] = True
+            for port in outports:
+                self._la_arb[port].grant(lines)
+            if not self._grant_bypass(cycle, la, outports):
+                self.stats.incr("noc.la.denied")
+            return
         # Resolve conflicts between lookaheads per output port with
         # rotating priority over input ports; grants are all-or-nothing
         # per lookahead (a partially-granted bypass is a failed bypass).
@@ -368,7 +596,7 @@ class Router(Clocked):
         arrival = cycle + 1
         # All requested ports must be free at the packet's ST cycle.
         for port in outports:
-            if self.port_free_at.get(port, 0) > arrival:
+            if self.port_free_at[port] > arrival:
                 return False
             if vnet == VNet.GO_REQ and self.sid_trackers[port].blocks(packet.sid):
                 return False
@@ -376,16 +604,20 @@ class Router(Clocked):
         for port in outports:
             vc = self._select_downstream_vc(port, packet)
             if vc is None:
+                # Undo this call's own consumptions — net-zero credit
+                # motion, so no memo invalidation is needed.
                 for done_port, done_vc in granted_vcs.items():
                     self.out_credits[done_port].release(
                         vnet, done_vc, packet.size_flits)
                     if vnet == VNet.GO_REQ:
                         self.sid_trackers[done_port].clear_vc(done_vc)
+                    self._refresh_avail(done_port)
                 return False
             granted_vcs[port] = vc
             self.out_credits[port].consume(vnet, vc, packet.size_flits)
             if vnet == VNet.GO_REQ:
                 self.sid_trackers[port].record(vc, packet.sid)
+            self._refresh_avail(port)
         for port in outports:
             self.port_free_at[port] = arrival + packet.size_flits
         self._bypass_grants[packet.pid] = _BypassGrant(
@@ -404,40 +636,141 @@ class Router(Clocked):
 
     # -- buffered arbitration (normal VCs) -------------------------------
 
-    def _arbitrate_buffered(self, cycle: int) -> None:
-        # SA-I: one candidate VC per input port.
-        candidates: Dict[int, object] = {}
+    def _arbitrate_buffered(self, cycle: int, skip: List[bool],
+                            retry: List[int], elig: List[bool],
+                            masks: List[int]) -> None:
+        # SA-I: one candidate VC per input port.  Ports with a standing
+        # blocked proof are skipped outright; for the rest, requestable
+        # outports are computed once per VC and reused by SA-O (nothing
+        # that feeds the answer changes between the two passes).
+        #
+        # The scan is fully inlined (no _requestable_outports /
+        # _select_downstream_vc calls): per-outport VC availability comes
+        # from the incrementally-maintained _goreq_free/_uoresp_free/
+        # _rvc_free caches — exact, because SA-I itself consumes nothing,
+        # and SA-O grants re-validate through _select_downstream_vc
+        # before forwarding.
+        candidates: List[Optional[Tuple[object, List[int]]]] = [None] * 5
+        n_candidates = 0
+        port_buffered = self._port_buffered
+        port_free_at = self.port_free_at
+        sid_counts = self._sid_counts
+        rvc_fns = self._rvc_fns
+        goreq_free = self._goreq_free
+        uoresp_free = self._uoresp_free
+        rvc_free = self._rvc_free
+        gser = self._gser
+        pser = self._pser
+        vc_memo = self._vc_memo
         for inport in PORTS:
-            if not self._port_buffered[inport]:
+            if skip[inport] or not port_buffered[inport]:
                 continue
-            lines = [False] * self._sa_i[inport].n
-            eligible = {}
+            arb = self._sa_i[inport]
+            lines = [False] * arb.n
+            eligible: List[Optional[Tuple[object, List[int]]]] = [None] * arb.n
+            any_eligible = False
+            min_retry = retry[inport]
+            mask = masks[inport]
+            vc_memos = vc_memo[inport]
             for slot, vc in enumerate(self._normal_vcs[inport]):
-                if not vc.occupied or vc.ready_cycle > cycle:
+                packet = vc.packet
+                if packet is None:
                     continue
-                if self._requestable_outports(cycle, vc):
+                ready = vc.ready_cycle
+                if ready > cycle:
+                    if ready < min_retry:
+                        min_retry = ready
+                    continue
+                # Per-VC blocked proof: serials are monotonic, so a memo
+                # whose mask port bumped (or whose retry passed) can never
+                # revalidate — a once-eligible VC always rescans fresh.
+                vm = vc_memos[slot]
+                if cycle < vm[1] and (vm[0] == gser
+                                      or self._memo_valid(vm, cycle, gser)):
+                    if vm[1] < min_retry:
+                        min_retry = vm[1]
+                    mask |= vm[2]
+                    continue
+                is_goreq = packet.vnet == VNet.GO_REQ
+                sid = packet.sid
+                vc_retry = WAKE_NEVER
+                vc_mask = 0
+                ports: List[int] = []
+                for port in vc.pending_outports:
+                    free_at = port_free_at[port]
+                    if free_at > cycle:
+                        # Time-gated; only relevant to the retry estimate
+                        # when the whole inport ends up blocked (an
+                        # eligible VC discards min_retry and the mask).
+                        if free_at < vc_retry:
+                            vc_retry = free_at
+                        continue
+                    if is_goreq:
+                        if sid_counts[port].get(sid, 0):
+                            vc_mask |= 1 << port
+                            continue
+                        if not goreq_free[port]:
+                            if not rvc_free[port]:
+                                vc_mask |= 1 << port
+                                continue
+                            fn = rvc_fns[port]
+                            if fn is not None:
+                                if not fn(sid, packet.seq):
+                                    vc_mask |= 1 << port
+                                    continue
+                            elif not self.rvc_ok(self.downstream[port][1],
+                                                 sid, packet.seq):
+                                vc_mask |= 1 << port
+                                continue
+                    elif not uoresp_free[port]:
+                        vc_mask |= 1 << port
+                        continue
+                    ports.append(port)
+                if ports:
                     lines[slot] = True
-                    eligible[slot] = vc
-            winner = self._sa_i[inport].grant(lines)
-            if winner is not None:
+                    eligible[slot] = (vc, ports)
+                    any_eligible = True
+                else:
+                    vm[0] = gser
+                    vm[1] = vc_retry
+                    vm[2] = vc_mask
+                    vm[3:8] = pser
+                    if vc_retry < min_retry:
+                        min_retry = vc_retry
+                    mask |= vc_mask
+            if any_eligible:
+                elig[inport] = True
+                winner = arb.grant(lines)
                 candidates[inport] = eligible[winner]
+                n_candidates += 1
+            else:
+                retry[inport] = min_retry
+                masks[inport] = mask
 
-        if not candidates:
+        if not n_candidates:
             return
 
-        # SA-O: per output port, rotating priority over input ports.
-        port_requests: Dict[int, List[int]] = {}
-        for inport, vc in candidates.items():
-            for port in self._requestable_outports(cycle, vc):
-                port_requests.setdefault(port, []).append(inport)
-        for port, inports in sorted(port_requests.items()):
-            lines = [False] * 5
-            for inport in inports:
+        # SA-O: per output port, rotating priority over input ports
+        # (ascending port order, matching the old sorted() walk).
+        req_lines: List[Optional[List[bool]]] = [None] * 5
+        for inport in PORTS:
+            cand = candidates[inport]
+            if cand is None:
+                continue
+            for port in cand[1]:
+                lines = req_lines[port]
+                if lines is None:
+                    req_lines[port] = lines = [False] * 5
                 lines[inport] = True
-            winner = self._sa_o[port].grant(lines)
+        sa_o = self._sa_o
+        for port in range(5):
+            lines = req_lines[port]
+            if lines is None:
+                continue
+            winner = sa_o[port].grant(lines)
             if winner is None:
                 continue
-            vc = candidates[winner]
+            vc, _ports = candidates[winner]
             if vc.packet is None:
                 continue  # already fully forwarded through other ports
             self._forward_through(cycle, winner, vc, port)
@@ -446,20 +779,33 @@ class Router(Clocked):
         """Pending outports this packet may legally request right now."""
         packet = vc.packet
         out = []
+        port_free_at = self.port_free_at
+        is_goreq = packet.vnet == VNet.GO_REQ
         for port in vc.pending_outports:
-            if self.port_free_at.get(port, 0) > cycle:
+            if port_free_at[port] > cycle:
                 continue
-            if packet.vnet == VNet.GO_REQ and \
-                    self.sid_trackers[port].blocks(packet.sid):
+            if is_goreq and self.sid_trackers[port].blocks(packet.sid):
                 continue
             if self._select_downstream_vc(port, packet) is None:
                 continue
             out.append(port)
         return out
 
+    def _blocked_retry(self, cycle: int, vc) -> int:
+        """Earliest cycle a ready-but-blocked VC's answer can change *by
+        time alone* (a ``port_free_at`` expiring); WAKE_NEVER when only
+        serial-bumping events (credits, sid clears, rvc flips) can."""
+        retry = WAKE_NEVER
+        port_free_at = self.port_free_at
+        for port in vc.pending_outports:
+            free_at = port_free_at[port]
+            if cycle < free_at < retry:
+                retry = free_at
+        return retry
+
     def _try_forward(self, cycle: int, inport: int, vnet: VNet, vc) -> None:
-        """Reserved-VC fast path: forward through any available ports."""
-        for port in list(self._requestable_outports(cycle, vc)):
+        """Forward *vc*'s packet through any currently available ports."""
+        for port in self._requestable_outports(cycle, vc):
             if vc.packet is None:
                 break
             self._forward_through(cycle, inport, vc, port)
@@ -473,8 +819,12 @@ class Router(Clocked):
         self.out_credits[port].consume(vnet, downstream_vc, packet.size_flits)
         if vnet == VNet.GO_REQ:
             self.sid_trackers[port].record(downstream_vc, packet.sid)
+        self._refresh_avail(port)
         self.port_free_at[port] = cycle + packet.size_flits
         self._transmit(cycle, packet, port, vnet, downstream_vc)
+        m = self._inport_memo[inport]       # occupancy changed: re-scan
+        m[0] = -1
+        m[1] = 0
         fully_left = vc.complete_outport(port)
         if fully_left:
             self._n_buffered -= 1
@@ -494,10 +844,14 @@ class Router(Clocked):
         free = credits.first_free_normal_vc(vnet)
         if free is not None:
             return free
-        if vnet == VNet.GO_REQ and self.config.reserved_vc:
-            _endpoint, node = self.downstream[port]
-            if credits.reserved_vc_free() \
-                    and self.rvc_ok(node, packet.sid, packet.seq):
+        if vnet == VNet.GO_REQ and self.config.reserved_vc \
+                and credits.reserved_vc_free():
+            fn = self._rvc_fns[port]
+            if fn is not None:
+                if fn(packet.sid, packet.seq):
+                    return credits.reserved_index
+            elif self.rvc_ok(self.downstream[port][1], packet.sid,
+                             packet.seq):
                 return credits.reserved_index
         return None
 

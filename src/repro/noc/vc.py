@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.noc.packet import Packet, VNet
 
 
-@dataclass
+@dataclass(slots=True)
 class VCBuffer:
     """One virtual channel at one input port."""
 
@@ -102,20 +102,32 @@ class CreditTracker:
     """Free-slot accounting for the VCs of one downstream input port.
 
     Held at each router output port; mirrors the downstream
-    :class:`InputPort`.  ``free_vc`` answers the VC-selection (VS) stage's
+    :class:`InputPort`.  ``vc_free`` answers the VC-selection (VS) stage's
     question: which downstream VC, if any, can accept this packet?
+
+    Internals are flat per-vnet lists indexed by ``int(vnet)`` (``VNet``
+    is an IntEnum), plus one maintained bitmask per vnet of the *fully
+    free, non-reserved* VCs — bit ``i`` set iff VC ``i`` holds all its
+    credits.  That makes the VS-stage queries
+    (:meth:`first_free_normal_vc` / :meth:`reserved_vc_free`) O(1)
+    instead of a per-call scan; they sit on the router's hottest loop.
     """
 
     def __init__(self, goreq_vcs: int, goreq_depth: int, uoresp_vcs: int,
                  uoresp_depth: int, reserved_vc: bool) -> None:
-        self._depth: Dict[VNet, int] = {
-            VNet.GO_REQ: goreq_depth, VNet.UO_RESP: uoresp_depth}
         n_goreq = goreq_vcs + (1 if reserved_vc else 0)
-        self._credits: Dict[VNet, List[int]] = {
-            VNet.GO_REQ: [goreq_depth] * n_goreq,
-            VNet.UO_RESP: [uoresp_depth] * uoresp_vcs,
-        }
+        self._depth: List[int] = [goreq_depth, uoresp_depth]
+        self._credits: List[List[int]] = [
+            [goreq_depth] * n_goreq,
+            [uoresp_depth] * uoresp_vcs,
+        ]
         self._reserved_index = goreq_vcs if reserved_vc else None
+        # Free-VC bitmasks (normal VCs only; the rVC is tracked by its
+        # credit count alone).  Every VC starts full, hence free.
+        self._free_mask: List[int] = [
+            (1 << goreq_vcs) - 1,
+            (1 << uoresp_vcs) - 1,
+        ]
 
     def is_reserved(self, vnet: VNet, vc: int) -> bool:
         return vnet == VNet.GO_REQ and vc == self._reserved_index
@@ -132,37 +144,44 @@ class CreditTracker:
         return self._credits[vnet][vc] == self._depth[vnet]
 
     def consume(self, vnet: VNet, vc: int, flits: int) -> None:
-        if self._credits[vnet][vc] < flits:
+        credits = self._credits[vnet]
+        held = credits[vc]
+        if held < flits:
             raise RuntimeError(
                 f"credit underflow on {vnet.name} vc {vc}: "
-                f"{self._credits[vnet][vc]} < {flits}")
-        self._credits[vnet][vc] -= flits
+                f"{held} < {flits}")
+        if held == self._depth[vnet] and (vnet != VNet.GO_REQ
+                                          or vc != self._reserved_index):
+            self._free_mask[vnet] &= ~(1 << vc)
+        credits[vc] = held - flits
 
     def release(self, vnet: VNet, vc: int, flits: int) -> None:
-        self._credits[vnet][vc] += flits
-        if self._credits[vnet][vc] > self._depth[vnet]:
+        credits = self._credits[vnet]
+        depth = self._depth[vnet]
+        held = credits[vc] + flits
+        if held > depth:
             raise RuntimeError(
                 f"credit overflow on {vnet.name} vc {vc}")
+        credits[vc] = held
+        if held == depth and (vnet != VNet.GO_REQ
+                              or vc != self._reserved_index):
+            self._free_mask[vnet] |= 1 << vc
 
     def free_normal_vcs(self, vnet: VNet) -> List[int]:
         """Indices of free, non-reserved VCs of *vnet*."""
-        depth = self._depth[vnet]
-        reserved = self._reserved_index if vnet == VNet.GO_REQ else None
-        return [idx for idx, remaining in enumerate(self._credits[vnet])
-                if remaining == depth and idx != reserved]
+        mask = self._free_mask[vnet]
+        return [idx for idx in range(mask.bit_length()) if mask >> idx & 1]
 
     def first_free_normal_vc(self, vnet: VNet) -> Optional[int]:
-        """Lowest-index free non-reserved VC of *vnet*, or None.
+        """Lowest-index free non-reserved VC of *vnet*, or None."""
+        mask = self._free_mask[vnet]
+        if mask == 0:
+            return None
+        return (mask & -mask).bit_length() - 1
 
-        The VC-selection (VS) stage only needs the first candidate; this
-        avoids materializing the full free list on the router hot path.
-        """
-        depth = self._depth[vnet]
-        reserved = self._reserved_index if vnet == VNet.GO_REQ else None
-        for idx, remaining in enumerate(self._credits[vnet]):
-            if remaining == depth and idx != reserved:
-                return idx
-        return None
+    def has_free_normal_vc(self, vnet: VNet) -> bool:
+        """O(1) VS-stage predicate: any normal VC fully free?"""
+        return self._free_mask[vnet] != 0
 
     def reserved_vc_free(self) -> bool:
         if self._reserved_index is None:

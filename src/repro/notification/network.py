@@ -44,6 +44,7 @@ class NotificationNetwork(Clocked):
         self.stats = stats or StatsRegistry()
         self.n_nodes = width * height
         self.routers = [NotificationRouter(i) for i in range(self.n_nodes)]
+        self._adjacency: List[List[int]] = [[] for _ in range(self.n_nodes)]
         for node in range(self.n_nodes):
             x, y = node % width, node // width
             if x + 1 < width:
@@ -61,11 +62,25 @@ class NotificationNetwork(Clocked):
         # delivery (sinks fire every window, vector or not: an empty
         # delivery re-enables NICs that saw a stop bit).
         self._window_active = False
+        # Event discipline for *active* windows: only routers adjacent to
+        # a vector change can merge anything new, so the per-cycle work
+        # tracks the OR-wavefront instead of all routers every cycle.
+        # ``_changed`` holds the nodes whose accum changed at the last
+        # commit (or injection); ``_candidates`` carries the frontier
+        # between the step and commit phases of one cycle.  Skipped
+        # routers are provably fixed points (their whole neighbourhood is
+        # unchanged), so the accum evolution is cycle-identical to
+        # stepping every router; once the frontier empties the mesh has
+        # converged and the network sleeps until the window-end delivery.
+        self._changed: set = set()
+        self._candidates: List[int] = []
         engine.register(self)
 
     def _link(self, a: int, b: int) -> None:
         self.routers[a].connect(self.routers[b])
         self.routers[b].connect(self.routers[a])
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
 
     def attach(self, node: int, source: Callable[[], int],
                sink: Callable[[int], None]) -> None:
@@ -106,22 +121,46 @@ class NotificationNetwork(Clocked):
         return cycle % self.config.window
 
     def step(self, cycle: int) -> None:
+        routers = self.routers
         if self.window_phase(cycle) == 0:
+            changed = self._changed
             for node, source in enumerate(self.sources):
                 if source is not None:
                     vector = source()
                     if vector:
-                        self.routers[node].accum |= vector
+                        routers[node].accum |= vector
+                        changed.add(node)
                         self._window_active = True
                         self.stats.incr("notification.injected")
-        if self._window_active:
-            for router in self.routers:
-                router.step(cycle)
+        if self._window_active and self._changed:
+            # Frontier merge: a router can latch new bits only if its own
+            # accum or a neighbour's changed last cycle.
+            adjacency = self._adjacency
+            frontier: set = set()
+            for node in self._changed:
+                frontier.add(node)
+                frontier.update(adjacency[node])
+            candidates = sorted(frontier)
+            self._candidates = candidates
+            for node in candidates:
+                router = routers[node]
+                merged = router.accum
+                for other in router.neighbors:
+                    merged |= other.accum
+                router._next = merged
 
     def commit(self, cycle: int) -> None:
-        if self._window_active:
-            for router in self.routers:
-                router.commit(cycle)
+        if self._candidates:
+            routers = self.routers
+            newly_changed = self._changed
+            newly_changed.clear()
+            for node in self._candidates:
+                router = routers[node]
+                nxt = router._next
+                if router.accum != nxt:
+                    router.accum = nxt
+                    newly_changed.add(node)
+            self._candidates = []
         phase = self.window_phase(cycle)
         if phase == self.config.window - 1:
             if self._window_active:
@@ -140,11 +179,15 @@ class NotificationNetwork(Clocked):
                 for router in self.routers:
                     router.clear()
                 self._window_active = False
+                self._changed.clear()
             if merged[0]:
                 self.stats.incr("notification.windows_nonempty")
             # Next cycle is a window start: stay awake to poll sources.
-        elif not self._window_active:
-            # Quiet mid-window: nothing merges until the window-end sink
-            # delivery.  (Sources are only polled at window starts, so no
-            # injection can appear before then either.)
+        elif not (self._window_active and self._changed):
+            # Nothing can merge before the window-end sink delivery:
+            # either the window is quiet, or the OR-wavefront has
+            # converged (every router is a fixed point of its
+            # neighbourhood, which in a connected mesh means all accums
+            # are equal).  Sources are only polled at window starts, so
+            # no new vector can appear mid-window either.
             self.idle_until(cycle - phase + self.config.window - 1)

@@ -76,8 +76,13 @@ class NotificationTracker:
 
     def current_esid(self) -> Optional[int]:
         """The SID of the next request every node must process, if known."""
+        expansion = self._expansion
+        if expansion:
+            # Hot path (reserved-VC eligibility asks this constantly):
+            # a non-empty expansion never needs a refill.
+            return expansion[0]
         self._refill()
-        return self._expansion[0] if self._expansion else None
+        return expansion[0] if expansion else None
 
     def consume_esid(self) -> int:
         """The expected request was forwarded to the cache controller."""

@@ -126,29 +126,23 @@ class InsoNetworkInterface(NetworkInterface):
     # Receive side: deliver strictly by ascending snoop order
     # ------------------------------------------------------------------
 
-    def _accept_arrivals(self, cycle: int) -> None:
-        if not self._arrivals:
-            return
-        due = [a for a in self._arrivals if a[0] <= cycle]
-        if not due:
-            return
-        self._arrivals = [a for a in self._arrivals if a[0] > cycle]
-        for arrive_cycle, packet, vnet, vc_index in due:
-            if vnet == VNet.GO_REQ:
-                payload = packet.payload
-                # INSO destinations need buffers proportional to the
-                # reorder window (the very overhead Sec. 2 criticizes);
-                # we model them as unbounded and return network credits
-                # immediately, which if anything favours INSO.
-                self._return_eject_credit(cycle, packet, vnet, vc_index)
-                if isinstance(payload, ExpiryNotice):
-                    frontier = self._expiry_frontier[payload.node]
-                    self._expiry_frontier[payload.node] = max(
-                        frontier, payload.through_slot)
-                else:
-                    self._held_by_slot[payload.slot] = (packet, arrive_cycle)
+    def _accept_one(self, cycle: int, arrive_cycle: int, packet, vnet,
+                    vc_index: int) -> None:
+        if vnet == VNet.GO_REQ:
+            payload = packet.payload
+            # INSO destinations need buffers proportional to the
+            # reorder window (the very overhead Sec. 2 criticizes);
+            # we model them as unbounded and return network credits
+            # immediately, which if anything favours INSO.
+            self._return_eject_credit(cycle, packet, vnet, vc_index)
+            if isinstance(payload, ExpiryNotice):
+                frontier = self._expiry_frontier[payload.node]
+                self._expiry_frontier[payload.node] = max(
+                    frontier, payload.through_slot)
             else:
-                self._resp_queue.append((packet, vc_index))
+                self._held_by_slot[payload.slot] = (packet, arrive_cycle)
+        else:
+            self._resp_queue.append((packet, vc_index))
 
     def _deliver_ordered(self, cycle: int) -> None:
         while True:

@@ -96,31 +96,25 @@ class TimestampNetworkInterface(NetworkInterface):
     # Receive side: reorder buffer drained in ascending (OT, SID) order
     # ------------------------------------------------------------------
 
-    def _accept_arrivals(self, cycle: int) -> None:
-        if not self._arrivals:
-            return
-        due = [a for a in self._arrivals if a[0] <= cycle]
-        if not due:
-            return
-        self._arrivals = [a for a in self._arrivals if a[0] > cycle]
-        for arrive_cycle, packet, vnet, vc_index in due:
-            if vnet == VNet.GO_REQ:
-                payload = packet.payload
-                # Like the INSO model, destination buffers are the very
-                # overhead under study: hold the packet outside the
-                # network and return the credit immediately, then count
-                # how many are held.
-                self._return_eject_credit(cycle, packet, vnet, vc_index)
-                if payload.ot < cycle:
-                    self.stats.incr("ts.late_arrivals")
-                key = (payload.ot, packet.sid, payload.seq)
-                self._reorder[key] = (packet, arrive_cycle)
-                if len(self._reorder) > self._reorder_peak:
-                    self._reorder_peak = len(self._reorder)
-                    self.stats.set_gauge(f"ts.reorder_peak.node{self.node}",
-                                         self._reorder_peak)
-            else:
-                self._resp_queue.append((packet, vc_index))
+    def _accept_one(self, cycle: int, arrive_cycle: int, packet, vnet,
+                    vc_index: int) -> None:
+        if vnet == VNet.GO_REQ:
+            payload = packet.payload
+            # Like the INSO model, destination buffers are the very
+            # overhead under study: hold the packet outside the
+            # network and return the credit immediately, then count
+            # how many are held.
+            self._return_eject_credit(cycle, packet, vnet, vc_index)
+            if payload.ot < cycle:
+                self.stats.incr("ts.late_arrivals")
+            key = (payload.ot, packet.sid, payload.seq)
+            self._reorder[key] = (packet, arrive_cycle)
+            if len(self._reorder) > self._reorder_peak:
+                self._reorder_peak = len(self._reorder)
+                self.stats.set_gauge(f"ts.reorder_peak.node{self.node}",
+                                     self._reorder_peak)
+        else:
+            self._resp_queue.append((packet, vc_index))
 
     def _deliver_ordered(self, cycle: int) -> None:
         while self._reorder:

@@ -192,25 +192,23 @@ class UncorqNetworkInterface(NetworkInterface):
             return False
         return not self._ring_pending[req_id]
 
-    def _accept_arrivals(self, cycle: int) -> None:
+    def _accept_one(self, cycle: int, arrive_cycle: int, packet, vnet,
+                    vc_index: int) -> None:
         """Divert responses for ring-pending writes into a side buffer.
 
         Their network credit returns immediately (the wait happens in the
         NIC, not in router buffers), so held writes cannot starve the
-        UO-RESP virtual channels.
+        UO-RESP virtual channels.  Only blocked items emit credits at
+        accept time (plain arrivals just enqueue), so handling them
+        per-item instead of in a separate pre-pass leaves every queue and
+        credit push in the same relative order as before.
         """
-        if not self._arrivals:
+        if vnet == VNet.UO_RESP and self._response_blocked(packet):
+            self._return_eject_credit(cycle, packet, vnet, vc_index)
+            self._held_responses.append(packet)
+            self.stats.incr("uncorq.write_waits")
             return
-        blocked = [a for a in self._arrivals
-                   if a[0] <= cycle and a[2] == VNet.UO_RESP
-                   and self._response_blocked(a[1])]
-        if blocked:
-            self._arrivals = [a for a in self._arrivals if a not in blocked]
-            for _arrive, packet, vnet, vc_index in blocked:
-                self._return_eject_credit(cycle, packet, vnet, vc_index)
-                self._held_responses.append(packet)
-                self.stats.incr("uncorq.write_waits")
-        super()._accept_arrivals(cycle)
+        super()._accept_one(cycle, arrive_cycle, packet, vnet, vc_index)
 
     def _release_ring_completions(self, cycle: int) -> None:
         if not self._held_responses:

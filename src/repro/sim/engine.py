@@ -41,6 +41,16 @@ engines constructed with ``quiescence=False``, so components are
 oblivious to which mode they run under.  The default can be forced off
 process-wide with ``REPRO_QUIESCENCE=0`` (or :func:`forced_quiescence`) —
 that is how the differential identity suite compares the two kernels.
+
+Event wheels
+------------
+:class:`EventWheel` is the per-component companion to the sleep cells: a
+ring of due-cycle buckets for inbound events (flit arrivals, credit
+returns, lookaheads).  A busy component pops exactly the bucket for the
+current cycle instead of re-partitioning flat event lists every tick, so
+its per-cycle cost tracks *events due*, not *events queued*.  The wheel
+changes bookkeeping only — each push still wakes the owner for the due
+cycle, and pop order equals the old scan order under that contract.
 """
 
 from __future__ import annotations
@@ -54,6 +64,85 @@ from typing import Callable, List, Optional, Tuple
 WAKE_NEVER = 1 << 62
 
 _FORCED_DEFAULT: Optional[bool] = None
+
+
+class EventWheel:
+    """A ring of due-cycle buckets for one component's inbound events.
+
+    This is the event side of the quiescence machinery: where a sleep
+    cell records *when a component must next run*, an EventWheel records
+    *what is due when*, so an awake component touches only the bucket for
+    the current cycle instead of re-partitioning one flat list per tick.
+    Components keep their wake discipline unchanged — every ``push`` must
+    be paired with a ``wake(due)`` on the owning component, exactly as
+    queue appends were before.
+
+    Ordering: :meth:`pop_due` returns items in (due cycle, push order).
+    Under the wake contract a component pops every bucket at exactly its
+    due cycle, which makes this identical to the flat-list scan the
+    routers and NICs used previously; the differential identity suite is
+    the enforcement.
+
+    The wheel is plain data (a dict of lists plus two ints) so it
+    round-trips through ``state_dict``/pickle with no special handling,
+    and its contents evolve identically under both quiescence modes —
+    checkpoints stay byte-identical.
+    """
+
+    __slots__ = ("_buckets", "min_due", "_count")
+
+    def __init__(self) -> None:
+        self._buckets: dict = {}
+        # Earliest due cycle of any queued item; WAKE_NEVER when empty
+        # (so sleep-target math can min() it without None checks).
+        self.min_due = WAKE_NEVER
+        self._count = 0
+
+    def push(self, due: int, item) -> None:
+        bucket = self._buckets.get(due)
+        if bucket is None:
+            self._buckets[due] = [item]
+            if due < self.min_due:
+                self.min_due = due
+        else:
+            bucket.append(item)
+        self._count += 1
+
+    def pop_due(self, cycle: int) -> list:
+        """Remove and return every item due at or before *cycle*."""
+        if self.min_due > cycle:
+            return []
+        buckets = self._buckets
+        items = buckets.pop(self.min_due)
+        if buckets:
+            late = [due for due in buckets if due <= cycle]
+            if late:
+                late.sort()
+                for due in late:
+                    items += buckets.pop(due)
+            self.min_due = min(buckets) if buckets else WAKE_NEVER
+        else:
+            self.min_due = WAKE_NEVER
+        self._count -= len(items)
+        return items
+
+    def next_due(self) -> Optional[int]:
+        """Earliest queued due cycle, or None when empty."""
+        return None if self._count == 0 else self.min_due
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count != 0
+
+    # Pickle support: __slots__ classes have no __dict__, so spell the
+    # state out (state_dict payloads embed wheels inside component dicts).
+    def __getstate__(self) -> tuple:
+        return (self._buckets, self.min_due, self._count)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._buckets, self.min_due, self._count = state
 
 
 def default_quiescence() -> bool:
@@ -324,10 +413,11 @@ class Engine:
     def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
         """Run for at most *cycles* cycles.
 
-        If *until* is given, stop as soon as it returns True (checked
-        whenever simulated state may have changed).  Returns the number
-        of cycles actually simulated — including any fast-forwarded
-        across fully-quiescent windows, during which no state changes.
+        If *until* is given, stop as soon as it returns True — checked
+        after every simulated cycle, including each cycle crossed while
+        fast-forwarding a fully-quiescent window, so predicates that
+        read the clock stop at the same cycle under both kernels.
+        Returns the number of cycles actually simulated.
         """
         start = self._cycle
         end = start + cycles
@@ -350,12 +440,25 @@ class Engine:
             if quiescence and self._last_tick_idle and not self._watchers:
                 # Nothing ran this cycle: no state changed, and nothing
                 # can until the earliest declared wake.  Jump there.
-                # (``until`` predicates must therefore depend on
-                # simulated state, which is frozen across the gap.)
                 target = min(self._earliest_wake(), end)
                 if target > self._cycle:
-                    self.cycles_fast_forwarded += target - self._cycle
-                    self._cycle = target
+                    if until is None:
+                        self.cycles_fast_forwarded += target - self._cycle
+                        self._cycle = target
+                    else:
+                        # Simulated state is frozen across the gap, but a
+                        # predicate may also read the clock: advance one
+                        # cycle at a time, re-checking after each, exactly
+                        # as the naive kernel would after each idle tick.
+                        stop = False
+                        while self._cycle < target:
+                            self._cycle += 1
+                            self.cycles_fast_forwarded += 1
+                            if until():
+                                stop = True
+                                break
+                        if stop:
+                            break
         return self._cycle - start
 
     # ------------------------------------------------------------------

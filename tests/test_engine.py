@@ -223,6 +223,23 @@ class TestQuiescence:
         assert sleeper.step_cycles == [0, 7, 14]
         assert ran == 15
 
+    def test_run_until_clock_predicate_stops_inside_gap(self):
+        # Regression: a predicate that reads the clock must stop at the
+        # exact cycle the naive kernel would, even when that cycle falls
+        # strictly inside a quiescence fast-forward window.  The engine
+        # used to jump the whole gap first and check the predicate after,
+        # overshooting the stop cycle.
+        engine = Engine(quiescence=True)
+        engine.register(Sleeper(100))     # asleep for cycles 1..99
+        ran = engine.run(200, until=lambda: engine.cycle >= 50)
+        assert engine.cycle == 50
+        assert ran == 50
+
+        naive = Engine(quiescence=False)
+        naive.register(Sleeper(100))
+        assert naive.run(200, until=lambda: naive.cycle >= 50) == ran
+        assert naive.cycle == engine.cycle
+
     def test_forced_quiescence_overrides_default(self):
         with forced_quiescence(False):
             assert default_quiescence() is False

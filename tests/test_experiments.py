@@ -123,6 +123,24 @@ class TestRunSweep:
         assert swept.stats == direct.stats
         assert swept.to_run_result().breakdown() == direct.breakdown()
 
+    def test_uncached_results_still_carry_fingerprints(self):
+        # Regression: the uncached path used to elide fingerprints as "",
+        # producing result envelopes that could never be matched back to
+        # the point that produced them.
+        spec = tiny_spec()
+        [swept] = run_sweep([spec], cache=False)
+        assert swept.fingerprint == spec.fingerprint(
+            code_version=code_version())
+        assert swept.payload()["fingerprint"] == swept.fingerprint
+
+    def test_uncached_fingerprint_matches_cached_identity(self, tmp_path):
+        # The same point swept uncached and cached must report the same
+        # identity, so later cache lookups can recognise archived
+        # envelopes.
+        [uncached] = run_sweep([tiny_spec()], cache=False)
+        [cached] = run_sweep([tiny_spec()], cache=tmp_path)
+        assert uncached.fingerprint == cached.fingerprint
+
     def test_cache_hit_is_byte_identical_to_fresh_run(self, tmp_path):
         specs = [tiny_spec(), tiny_spec(protocol="lpd")]
         fresh = run_sweep(specs, cache=tmp_path)
