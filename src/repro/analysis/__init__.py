@@ -11,6 +11,11 @@ from repro.analysis.energy import (NIC_ROUTER_POWER_MW, EnergyModel,
 from repro.analysis.export import (FigureData, Series, export_stats,
                                    normalized_series, read_figure_csv)
 from repro.analysis.report import build_report
+from repro.analysis.report_html import (ObservabilityDriftError,
+                                        RunObservation,
+                                        collect_observations,
+                                        render_report_html, result_digest,
+                                        write_html_report)
 from repro.analysis.latency import (CACHE_SERVED_CATEGORIES,
                                     MEMORY_SERVED_CATEGORIES, breakdown_row,
                                     format_stack, served_fraction,
@@ -24,6 +29,8 @@ __all__ = [
     "NIC_ROUTER_POWER_MW", "EnergyModel", "EnergyParams", "EnergyReport",
     "FigureData", "Series", "export_stats", "normalized_series",
     "read_figure_csv", "build_report",
+    "ObservabilityDriftError", "RunObservation", "collect_observations",
+    "render_report_html", "result_digest", "write_html_report",
     "CACHE_SERVED_CATEGORIES", "MEMORY_SERVED_CATEGORIES", "breakdown_row",
     "format_stack", "served_fraction", "total_latency",
 ]

@@ -57,6 +57,11 @@ Document schema (``DOCUMENT_SCHEMA`` = 1)::
     smoke = true
     repeats = 1
 
+    [report]                        # observability report defaults
+    journal_capacity = 1024         # ring-buffer size (>= 1)
+    sample_interval = 64            # cycles between mesh samples (>= 1)
+    journal_tail = 40               # journal rows shown in the HTML
+
 Versioning rules: ``schema`` must equal :data:`DOCUMENT_SCHEMA`; new
 *optional* keys may be added without a bump (old documents keep
 loading), any change to the meaning of an existing key bumps the
@@ -359,6 +364,33 @@ def _resolve_bench(data: Mapping[str, Any], what: str) -> Dict[str, Any]:
             "repeats": _get(data, "repeats", int, what, default=1)}
 
 
+_REPORT_KEYS = ("journal_capacity", "sample_interval", "journal_tail")
+
+
+def _resolve_report(data: Mapping[str, Any], what: str) -> Dict[str, Any]:
+    """A ``[report]`` table -> observability defaults for ``--report``.
+
+    Purely additive (no schema bump): the table configures the HTML
+    report's instrumented re-runs and never changes what the document
+    itself computes — result envelopes stay byte-identical with or
+    without it."""
+    from repro.sim.journal import DEFAULT_CAPACITY, DEFAULT_SAMPLE_INTERVAL
+
+    _check_keys(data, _REPORT_KEYS, what)
+    resolved = {
+        "journal_capacity": _get(data, "journal_capacity", int, what,
+                                 default=DEFAULT_CAPACITY),
+        "sample_interval": _get(data, "sample_interval", int, what,
+                                default=DEFAULT_SAMPLE_INTERVAL),
+        "journal_tail": _get(data, "journal_tail", int, what, default=40),
+    }
+    for key in ("journal_capacity", "sample_interval"):
+        _require(resolved[key] >= 1, f"{what}.{key} must be >= 1")
+    _require(resolved["journal_tail"] >= 0,
+             f"{what}.journal_tail must be >= 0")
+    return resolved
+
+
 # ---------------------------------------------------------------------------
 # The document
 # ---------------------------------------------------------------------------
@@ -380,6 +412,7 @@ class ExperimentSpec:
     specs: List[Any] = field(default_factory=list)
     litmus_checks: List[Tuple[Any, int]] = field(default_factory=list)
     bench: Optional[Dict[str, Any]] = None
+    report: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -412,11 +445,13 @@ class ExperimentSpec:
                 {program.name for program, _ in self.litmus_checks})
         if self.bench is not None:
             document["bench"] = dict(self.bench)
+        if self.report is not None:
+            document["report"] = dict(self.report)
         return document
 
 
 _DOCUMENT_KEYS = ("schema", "name", "description", "configs", "runs",
-                  "matrix", "litmus", "bench")
+                  "matrix", "litmus", "bench", "report")
 
 
 def experiment_from_dict(data: Mapping[str, Any],
@@ -451,6 +486,8 @@ def experiment_from_dict(data: Mapping[str, Any],
             specs.append(spec)
     bench = (_resolve_bench(data["bench"], f"{what}.bench")
              if "bench" in data else None)
+    report = (_resolve_report(data["report"], f"{what}.report")
+              if "report" in data else None)
     _require(bool(specs) or bench is not None,
              f"{what}: document describes no work (needs runs, a "
              f"matrix, a litmus table, or a bench table)")
@@ -458,7 +495,8 @@ def experiment_from_dict(data: Mapping[str, Any],
                           description=_get(data, "description", str, what,
                                            default=""),
                           source=source, configs=configs, specs=specs,
-                          litmus_checks=litmus_checks, bench=bench)
+                          litmus_checks=litmus_checks, bench=bench,
+                          report=report)
 
 
 def _parse_toml(text: str, what: str) -> Dict[str, Any]:

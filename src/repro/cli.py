@@ -19,6 +19,12 @@ Commands:
   an N-cycle cadence (``--checkpoint-dir`` chooses where) and
   ``--resume <ckpt>`` restores a preempted run from such a snapshot —
   results are byte-identical to an uninterrupted run.
+  ``--report DIR`` re-executes each run with the event journal and mesh
+  sampler attached (the envelope is untouched) and writes a
+  self-contained observability report to ``DIR/report.html``.
+* ``report-html`` — run an experiment document and write only the
+  observability HTML report (``run-file --report`` without the
+  envelope bookkeeping).
 * ``describe`` — validate an experiment document and print its fully
   resolved form (expanded configs, workloads, params) as JSON.
 * ``figure`` — regenerate a paper table/figure (see ``--list``).
@@ -138,7 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="resume the matching run from a "
                                  "snapshot written by --checkpoint-every "
                                  "(other runs execute fresh)")
+    run_file_p.add_argument("--report", default=None, metavar="DIR",
+                            help="after the document runs, re-execute "
+                                 "each run with the event journal and "
+                                 "mesh sampler attached and write a "
+                                 "self-contained observability report "
+                                 "(DIR/report.html); fails on any "
+                                 "journal-on/off result drift")
     add_executor_options(run_file_p)
+
+    report_html_p = sub.add_parser(
+        "report-html", help="run an experiment document and write the "
+                            "observability HTML report")
+    report_html_p.add_argument("path")
+    report_html_p.add_argument("--output", default="report",
+                               metavar="DIR",
+                               help="report directory (default: report/)")
+    add_executor_options(report_html_p)
 
     describe_p = sub.add_parser(
         "describe", help="validate an experiment document and print the "
@@ -185,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "harness runs, numbers not meaningful")
     bench_p.add_argument("--repeats", type=int, default=1,
                          help="timing repeats per point (best-of)")
+    bench_p.add_argument("--max-journal-overhead", type=float,
+                         default=None, metavar="FRAC",
+                         help="fail if a journal-on run is more than "
+                              "FRAC slower than journal-off (e.g. 0.5 "
+                              "= 50%%); off by default — wall-clock "
+                              "thresholds need a quiet host")
 
     litmus_p = sub.add_parser("litmus", help="run the SC litmus suite")
     litmus_p.add_argument("--protocol", choices=PROTOCOLS,
@@ -353,7 +381,41 @@ def cmd_run_file(args, out) -> int:
                        sort_keys=True)
             handle.write("\n")
         print(f"results -> {args.output}", file=out)
+    if args.report is not None:
+        from repro.analysis.report_html import (ObservabilityDriftError,
+                                                write_html_report)
+        try:
+            path = write_html_report(args.report, experiment,
+                                     outcome.results)
+        except ObservabilityDriftError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"observability report -> {path}", file=out)
     return 0 if failures == 0 else 1
+
+
+def cmd_report_html(args, out) -> int:
+    from repro.analysis.report_html import (ObservabilityDriftError,
+                                            write_html_report)
+    from repro.api import DocumentError, load_experiment, run_experiment
+    from repro.experiments import as_cache, get_context
+    try:
+        experiment = load_experiment(args.path)
+    except DocumentError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    cache = as_cache(args.cache_dir) if args.cache_dir \
+        else get_context().cache
+    outcome = run_experiment(experiment, jobs=args.jobs, cache=cache)
+    try:
+        path = write_html_report(args.output, experiment, outcome.results)
+    except ObservabilityDriftError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(f"experiment: {experiment.name} "
+          f"({len(outcome.results)} runs)", file=out)
+    print(f"observability report -> {path}", file=out)
+    return 0
 
 
 def cmd_describe(args, out) -> int:
@@ -413,19 +475,21 @@ def cmd_report(args, out) -> int:
 def cmd_bench(args, out) -> int:
     from repro.experiments.bench import write_bench
     report = write_bench(args.output, smoke=args.smoke,
-                         repeats=args.repeats)
+                         repeats=args.repeats,
+                         max_journal_overhead=args.max_journal_overhead)
     mode = "smoke" if args.smoke else "full"
     print(f"quiescence kernel bench ({mode} regime, "
           f"{report['mesh']} mesh) -> {args.output}", file=out)
     header = f"{'workload':<20}{'cycles':>9}{'on (s)':>9}{'off (s)':>9}" \
-             f"{'speedup':>9}"
+             f"{'speedup':>9}{'journal':>9}"
     print(header, file=out)
     print("-" * len(header), file=out)
     for name, row in sorted(report["workloads"].items()):
         print(f"{name:<20}{row['cycles']:>9}"
               f"{row['wall_seconds_quiescence_on']:>9.2f}"
               f"{row['wall_seconds_quiescence_off']:>9.2f}"
-              f"{row['speedup']:>8.2f}x", file=out)
+              f"{row['speedup']:>8.2f}x"
+              f"{row['journal_overhead']:>+9.1%}", file=out)
     return 0
 
 
@@ -459,6 +523,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "run-file": cmd_run_file,
+    "report-html": cmd_report_html,
     "describe": cmd_describe,
     "figure": cmd_figure,
     "report": cmd_report,

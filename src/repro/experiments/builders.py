@@ -355,9 +355,20 @@ def collect_spec_outcome(spec: SystemSpec, system) -> SystemRunOutcome:
                             stats=stats)
 
 
-def execute_system_spec(spec: SystemSpec) -> SystemRunOutcome:
-    """Run one system spec in this process (the cache/pool-free core)."""
+def execute_system_spec(spec: SystemSpec,
+                        instrument=None) -> SystemRunOutcome:
+    """Run one system spec in this process (the cache/pool-free core).
+
+    *instrument*, when given, is called with the freshly built system
+    before it runs — the hook the observability layer uses to attach a
+    journal and sampler without duplicating the build/run/collect
+    sequence.  Instrumentation must not change simulated behaviour; the
+    report path cross-checks the instrumented outcome against the
+    uninstrumented envelope to enforce that.
+    """
     system = build_spec_system(spec)
+    if instrument is not None:
+        instrument(system)
     system.run_until_done(spec.max_cycles)
     return collect_spec_outcome(spec, system)
 

@@ -42,6 +42,11 @@ _STAY_AWAKE = object()
 class NetworkInterface(Clocked):
     """One node's NIC, bridging cache controller and both networks."""
 
+    # Opt-in event journal (repro.sim.journal), installed per instance
+    # by attach_observability; class-level None keeps the unattached hot
+    # path at one load-and-compare per hook site.
+    journal = None
+
     def __init__(self, node: int, noc_config: NocConfig,
                  notif_config: NotificationConfig,
                  stats: Optional[StatsRegistry] = None,
@@ -240,6 +245,11 @@ class NetworkInterface(Clocked):
             self._last_announced = 0
             self._enabled = False
             self.stats.incr("nic.windows_stopped")
+            journal = self.journal
+            if journal is not None:
+                journal.record(self._clock(), f"nic.{self.node}", "notif",
+                               "window-stopped",
+                               f"reannounce={self.pending_notifications}")
             return
         self._enabled = True
         self._last_announced = 0
@@ -425,6 +435,11 @@ class NetworkInterface(Clocked):
                            cycle - packet.inject_cycle)
         self.stats.observe("nic.ordering_wait", cycle - arrive_cycle)
         self._next_service_cycle = cycle + self.service_interval
+        journal = self.journal
+        if journal is not None:
+            journal.record(cycle, f"nic.{self.node}", "order", "delivered",
+                           f"pid={packet.pid} sid={packet.sid} "
+                           f"waited={cycle - arrive_cycle}")
 
     def _deliver_responses(self, cycle: int) -> None:
         # Responses are unordered; drain freely (they only pace on the
@@ -475,6 +490,11 @@ class NetworkInterface(Clocked):
                 packet, LOCAL, vnet, vc,
                 arrive_cycle=cycle + INJECT_TO_ROUTER_DELAY)
             self.stats.incr("nic.packets_injected")
+            journal = self.journal
+            if journal is not None:
+                journal.record(cycle, f"nic.{self.node}", "inject",
+                               vnet.name,
+                               f"pid={packet.pid} dst={packet.dst}")
 
     def _free_inject_vc(self, vnet: VNet) -> Optional[int]:
         return self._inject_credits.first_free_normal_vc(vnet)

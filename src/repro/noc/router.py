@@ -97,6 +97,12 @@ class _BypassGrant:
 class Router(Clocked):
     """One mesh router with its five input/output ports."""
 
+    # Opt-in event journal (repro.sim.journal), installed per instance by
+    # attach_observability.  A class-level None keeps the unattached hot
+    # path at one load-and-compare per hook site and lets checkpoints
+    # predating the journal restore cleanly.
+    journal = None
+
     def __init__(self, node: int, config: NocConfig,
                  stats: Optional[StatsRegistry] = None,
                  rvc_ok: Optional[Callable[[int, int, int], bool]] = None) -> None:
@@ -440,6 +446,12 @@ class Router(Clocked):
                 elif vc_index < self._goreq_nvcs:
                     self._vc_memo[inport][vc_index][1] = 0
                 self.stats.incr("noc.router.buffered")
+                journal = self.journal
+                if journal is not None:
+                    journal.record(
+                        cycle, f"router.{self.node}", "BW", "buffered",
+                        f"pid={packet.pid} inport={inport} "
+                        f"vc={vnet.name}/{vc_index}")
 
     def _bypass_transit(self, cycle: int, packet: Packet, inport: int,
                         vnet: VNet, vc_index: int, grant: _BypassGrant) -> None:
@@ -451,6 +463,10 @@ class Router(Clocked):
         # credits right away.
         self._release_upstream(cycle, packet, inport, vnet, vc_index)
         self.stats.incr("noc.router.bypassed")
+        journal = self.journal
+        if journal is not None:
+            journal.record(cycle, f"router.{self.node}", "ST", "bypassed",
+                           f"pid={packet.pid} inport={inport}")
 
     def _rollback_grant(self, cycle: int, vnet: VNet, packet: Packet,
                         grant: _BypassGrant) -> None:
@@ -875,6 +891,11 @@ class Router(Clocked):
                     Lookahead(packet=packet, inport=opposite(port)),
                     process_cycle=cycle + LOOKAHEAD_DELAY)
         self.stats.incr("noc.flits.transmitted", packet.size_flits)
+        journal = self.journal
+        if journal is not None:
+            journal.record(cycle, f"router.{self.node}", "ST", "transmit",
+                           f"pid={packet.pid} outport={port} "
+                           f"flits={packet.size_flits}")
 
     # ------------------------------------------------------------------
     # Introspection (tests / invariant checks)
@@ -883,6 +904,27 @@ class Router(Clocked):
     def occupancy(self) -> int:
         """Total packets currently buffered at this router."""
         return sum(self.inports[p].occupied_buffers() for p in PORTS)
+
+    def vc_occupancy(self) -> Tuple[int, int]:
+        """(occupied, total) input VC buffers across all five ports."""
+        occupied = 0
+        total = 0
+        for port in PORTS:
+            occ, tot = self.inports[port].occupancy_profile()
+            occupied += occ
+            total += tot
+        return occupied, total
+
+    def utilization_sample(self) -> Tuple[int, int]:
+        """(buffered packets, in-flight flits toward downstream ports):
+        the passive reading :class:`~repro.sim.journal.MeshSampler`
+        records at sample boundaries.  Committed state only — calling
+        this never changes router behaviour or sleep scheduling."""
+        in_flight = 0
+        for credits in self.out_credits:
+            if credits is not None:
+                in_flight += credits.in_flight_flits()
+        return self.occupancy(), in_flight
 
     def sid_invariant_holds(self) -> bool:
         """No two buffered GO-REQ packets at one input port share a SID."""

@@ -93,6 +93,16 @@ class InputPort:
     def occupied_buffers(self) -> int:
         return sum(1 for vcs in self._vcs.values() for vc in vcs if vc.occupied)
 
+    def occupancy_profile(self) -> Tuple[int, int]:
+        """(occupied, total) VC buffers across both vnets — the passive
+        VC-occupancy reading used by the observability sampler."""
+        occupied = 0
+        total = 0
+        for vcs in self._vcs.values():
+            total += len(vcs)
+            occupied += sum(1 for vc in vcs if vc.occupied)
+        return occupied, total
+
     def all_buffers(self):
         for vcs in self._vcs.values():
             yield from vcs
@@ -166,6 +176,18 @@ class CreditTracker:
         if held == depth and (vnet != VNet.GO_REQ
                               or vc != self._reserved_index):
             self._free_mask[vnet] |= 1 << vc
+
+    def in_flight_flits(self) -> int:
+        """Flits currently occupying the downstream input port (depth
+        minus held credits, summed over every VC): the backpressure
+        reading of the observability sampler.  Pure read of committed
+        credit state — no cache or mask is touched."""
+        total = 0
+        for vnet, credits in enumerate(self._credits):
+            depth = self._depth[vnet]
+            for held in credits:
+                total += depth - held
+        return total
 
     def free_normal_vcs(self, vnet: VNet) -> List[int]:
         """Indices of free, non-reserved VCs of *vnet*."""

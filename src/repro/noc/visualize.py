@@ -11,7 +11,7 @@ EXPERIMENTS.md was first spotted with exactly this view.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.noc.config import NocConfig
 
@@ -30,6 +30,53 @@ def traffic_map(testers) -> Dict[int, float]:
     return {tester.node: float(tester.received) for tester in testers}
 
 
+def compact_number(value: float, width: int) -> str:
+    """Format *value* into at most *width* characters without silently
+    dropping digits: progressively reduce precision, shifting to a
+    tightened scientific notation (``1.2e4``) when the plain rendering
+    is too wide.  Raises :class:`ValueError` when no faithful rendering
+    fits (e.g. ``1e-300`` in two characters) — the caller should widen
+    the cell rather than show a wrong number.
+    """
+    for candidate in _number_candidates(value):
+        if len(candidate) <= width:
+            return candidate
+    raise ValueError(
+        f"value {value!r} cannot be rendered in {width} characters; "
+        "increase cell_width")
+
+
+def _number_candidates(value: float) -> Iterable[str]:
+    """Renderings of *value*, widest/most-precise first.  Every candidate
+    round-trips the leading digits it shows — none truncates."""
+    yield f"{value:g}"
+    for precision in (5, 4, 3, 2, 1, 0):
+        text = f"{value:.{precision}g}"
+        yield text
+        if "e" in text:
+            # %g pads exponents ("1.2e+04"); "1.2e4" says the same thing.
+            mantissa, _, exponent = text.partition("e")
+            yield f"{mantissa}e{int(exponent)}"
+
+
+def _check_node_ids(values: Dict[int, float], config: NocConfig) -> None:
+    """Reject value-dict keys that name nodes outside the mesh.
+
+    Silently backfilling them with 0.0 (the old behaviour) meant a
+    mis-sized :class:`NocConfig` produced a plausible-looking heatmap
+    with the out-of-mesh hotspots simply gone.  Missing *in-range* nodes
+    still default to 0.0 — an idle router legitimately has no entry.
+    """
+    n_nodes = config.width * config.height
+    bad = sorted(node for node in values
+                 if not isinstance(node, int) or not 0 <= node < n_nodes)
+    if bad:
+        raise ValueError(
+            f"value keys {bad} are outside the {config.width}x"
+            f"{config.height} mesh (valid node ids: 0..{n_nodes - 1}); "
+            "the NocConfig does not match the data")
+
+
 def render_grid(values: Dict[int, float], config: NocConfig,
                 cell_width: int = 5,
                 label: Optional[Callable[[float], str]] = None) -> str:
@@ -37,23 +84,34 @@ def render_grid(values: Dict[int, float], config: NocConfig,
 
     Rows print north (high y) first so the picture matches the paper's
     floorplan orientation.  ``label`` overrides the default numeric
-    formatting per cell.
+    formatting per cell; a label wider than the cell raises rather than
+    misaligning the grid.  Keys outside the mesh raise ``ValueError``;
+    missing in-range nodes render as 0.
     """
     if cell_width < 3:
         raise ValueError("cells need at least 3 characters")
-    fmt = label or (lambda v: f"{v:g}"[:cell_width - 1])
+    _check_node_ids(values, config)
+    width = cell_width - 1
+    fmt = label or (lambda v: compact_number(v, width))
     lines: List[str] = []
     for y in range(config.height - 1, -1, -1):
         cells = []
         for x in range(config.width):
             value = values.get(y * config.width + x, 0.0)
-            cells.append(fmt(value).rjust(cell_width - 1))
+            text = fmt(value)
+            if len(text) > width:
+                raise ValueError(
+                    f"label {text!r} for value {value!r} is wider than "
+                    f"the {width}-character cell; widen cell_width or "
+                    "shorten the label")
+            cells.append(text.rjust(width))
         lines.append(" ".join(cells))
     return "\n".join(lines)
 
 
 def render_heatmap(values: Dict[int, float], config: NocConfig) -> str:
     """Shaded single-character heatmap (relative to the max value)."""
+    _check_node_ids(values, config)
     peak = max(values.values(), default=0.0)
     if peak <= 0:
         return render_grid({node: 0.0 for node in values}, config,

@@ -31,6 +31,9 @@ from repro.sim.stats import StatsRegistry
 class NotificationNetwork(Clocked):
     """Mesh of OR-routers plus window sequencing."""
 
+    # Opt-in event journal (repro.sim.journal); see attach_observability.
+    journal = None
+
     def __init__(self, width: int, height: int, config: NotificationConfig,
                  engine: Engine, stats: Optional[StatsRegistry] = None) -> None:
         if config.window < NotificationConfig.minimum_window(width, height):
@@ -175,6 +178,10 @@ class NotificationNetwork(Clocked):
             for node, sink in enumerate(self.sinks):
                 if sink is not None:
                     sink(merged[node])
+            journal = self.journal
+            if journal is not None and self._window_active:
+                journal.record(cycle, "notification", "window", "delivered",
+                               f"vector={merged[0]:#x}")
             if self._window_active:
                 for router in self.routers:
                     router.clear()

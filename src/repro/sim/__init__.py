@@ -1,6 +1,9 @@
 """Simulation kernel: cycle-driven engine and statistics."""
 
 from repro.sim.engine import Clocked, Engine
+from repro.sim.journal import (EventJournal, MeshSampler,
+                               attach_observability)
 from repro.sim.stats import Histogram, StatsRegistry
 
-__all__ = ["Clocked", "Engine", "Histogram", "StatsRegistry"]
+__all__ = ["Clocked", "Engine", "EventJournal", "Histogram", "MeshSampler",
+           "StatsRegistry", "attach_observability"]

@@ -242,6 +242,13 @@ class Clocked:
 class Engine:
     """Deterministic two-phase cycle-driven simulation engine."""
 
+    # Observability attachments (repro.sim.journal), opt-in and strictly
+    # side-channel.  Class-level defaults so checkpoints taken before
+    # these existed restore cleanly (missing instance attrs fall back
+    # here) and so the unattached hot path costs one load per check.
+    journal = None
+    _sampler = None
+
     def __init__(self, seed: int = 0,
                  quiescence: Optional[bool] = None) -> None:
         self._components: List[Clocked] = []
@@ -333,6 +340,19 @@ class Engine:
         # snapshot: re-resolve it and re-link the sleep cells that the
         # components' own __getstate__ deliberately dropped.
         self.rebind_quiescence()
+
+    def attach_sampler(self, sampler) -> None:
+        """Install a passive cycle-boundary sampler (a
+        :class:`~repro.sim.journal.MeshSampler`).
+
+        Unlike a watcher, a sampler does **not** disable fast-forwarding:
+        it only reads committed state at sample boundaries, and state is
+        frozen across a fast-forwarded window, so the boundary samples
+        emitted after a jump equal what the always-tick kernel would
+        have read.  Attach before :meth:`run`; samplers attached mid-run
+        take effect on the next run call.
+        """
+        self._sampler = sampler
 
     def add_watcher(self, fn: Callable[[int], None]) -> None:
         """Call *fn(cycle)* after each committed cycle (for probes/tests).
@@ -428,8 +448,15 @@ class Engine:
             return 0
         tick = self.tick
         quiescence = self.quiescence
+        sampler = self._sampler
+        journal = self.journal
+        if journal is not None:
+            journal.record(start, "engine", "run", "start",
+                           f"budget={cycles}")
         while self._cycle < end:
             tick()
+            if sampler is not None and self._cycle >= sampler.next_cycle:
+                sampler.advance_to(self._cycle)
             if self._stop_requested:
                 self._stop_requested = False
                 break
@@ -445,6 +472,12 @@ class Engine:
                     if until is None:
                         self.cycles_fast_forwarded += target - self._cycle
                         self._cycle = target
+                        if sampler is not None \
+                                and self._cycle >= sampler.next_cycle:
+                            # State is frozen across the gap: boundary
+                            # samples read exactly what per-cycle ticking
+                            # would have.
+                            sampler.advance_to(self._cycle)
                     else:
                         # Simulated state is frozen across the gap, but a
                         # predicate may also read the clock: advance one
@@ -454,6 +487,9 @@ class Engine:
                         while self._cycle < target:
                             self._cycle += 1
                             self.cycles_fast_forwarded += 1
+                            if sampler is not None \
+                                    and self._cycle >= sampler.next_cycle:
+                                sampler.advance_to(self._cycle)
                             if until():
                                 stop = True
                                 break

@@ -165,13 +165,31 @@ class StatsRegistry:
 
         Histogram summary statistics (count/total/mean/min/max) merge
         exactly even when either side exceeded its sample cap; only the
-        percentile reservoir is approximate."""
+        percentile reservoir is approximate.
+
+        Meta merge policy: numeric meta values (everything
+        :meth:`set_meta` stores) are **summed**, like counters — kernel
+        accounting such as ``engine.ticks_executed`` aggregates across
+        merged runs instead of silently keeping only the last run's
+        numbers.  A non-numeric value (not produced by :meth:`set_meta`,
+        but tolerated for forward compatibility) is last-writer-wins,
+        matching gauges.  Booleans count as non-numeric: summing flags
+        would silently turn them into run counts.
+        """
         for name, value in other.counters.items():
             self.counters[name] += value
         for name, hist in other.histograms.items():
             self.histograms[name].merge(hist)
         self.gauges.update(other.gauges)
-        self.meta.update(other.meta)
+        for name, value in other.meta.items():
+            mine = self.meta.get(name)
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool) \
+                    and isinstance(mine, (int, float)) \
+                    and not isinstance(mine, bool):
+                self.meta[name] = mine + value
+            else:
+                self.meta[name] = value
 
     def frame(self, prefixes: Optional[Iterable[str]] = None):
         """A queryable :class:`~repro.sim.statsframe.StatsFrame` over

@@ -126,6 +126,16 @@ class BaseSystem:
         ``engine.cycle``; these say how many ticks actually executed)."""
         for name, value in self.engine.kernel_accounting().items():
             self.stats.set_meta(f"engine.{name}", value)
+        # Journal accounting rides the same side channel: present only
+        # when observability is attached, and never in a payload either
+        # way — payload bytes are identical with the journal on or off.
+        journal = self.engine.journal
+        if journal is not None:
+            self.stats.set_meta("journal.records", len(journal))
+            self.stats.set_meta("journal.dropped", journal.dropped)
+        sampler = self.engine._sampler
+        if sampler is not None:
+            self.stats.set_meta("journal.samples", len(sampler))
 
     def total_completed_ops(self) -> int:
         return sum(core.completed_ops for core in self.cores.values())

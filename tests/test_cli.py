@@ -208,6 +208,42 @@ class TestRunFileCommand:
         assert code == 2
         assert "unknown key" in text
 
+    def test_report_flag_writes_html_and_keeps_envelope(self, tmp_path):
+        path = self._write(tmp_path)
+        plain = tmp_path / "plain.json"
+        reported = tmp_path / "reported.json"
+        code_a, _ = run_cli("run-file", str(path),
+                            "--output", str(plain))
+        code_b, text = run_cli("run-file", str(path),
+                               "--output", str(reported),
+                               "--report", str(tmp_path / "obs"))
+        assert code_a == code_b == 0
+        assert "observability report ->" in text
+        html = (tmp_path / "obs" / "report.html").read_text()
+        assert html.count('<svg class="mesh"') > 0
+        # The envelope is byte-identical with and without --report.
+        assert plain.read_bytes() == reported.read_bytes()
+
+
+@needs_toml
+class TestReportHtmlCommand:
+    def test_runs_document_and_writes_report(self, tmp_path):
+        path = tmp_path / "exp.toml"
+        path.write_text(DOCUMENT.format(ops=4))
+        code, text = run_cli("report-html", str(path),
+                             "--output", str(tmp_path / "obs"))
+        assert code == 0
+        assert "observability report ->" in text
+        html = (tmp_path / "obs" / "report.html").read_text()
+        assert "cli-doc" in html and "Sweep progress" in html
+
+    def test_invalid_document_exits_2(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("schema = 1\nname = 'x'\nbogus = 3\n")
+        code, text = run_cli("report-html", str(path))
+        assert code == 2
+        assert "unknown key" in text
+
 
 @needs_toml
 class TestDescribeCommand:
@@ -302,6 +338,18 @@ class TestBenchCommand:
         for row in report["workloads"].values():
             assert row["cycles"] > 0
             assert row["wall_seconds_quiescence_on"] > 0
+            assert row["wall_seconds_journal_on"] > 0
+            assert "journal_overhead" in row
+
+    def test_max_journal_overhead_threshold_fails_when_impossible(
+            self, tmp_path):
+        """A threshold no real run can meet (journal-on faster than
+        half the journal-off time) must fail loudly, proving the gate
+        is wired through the CLI."""
+        path = tmp_path / "BENCH_X.json"
+        with pytest.raises(AssertionError, match="journal-on overhead"):
+            run_cli("bench", "--smoke", "--output", str(path),
+                    "--max-journal-overhead", "-0.5")
 
 
 class TestFeaturesCommand:

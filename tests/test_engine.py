@@ -320,6 +320,31 @@ class TestStats:
         assert a.mean("lat") == 7
         assert a.get_meta("engine.ticks_executed") == 9
 
+    def test_merge_sums_numeric_meta(self):
+        """Kernel accounting aggregates across merged runs — the old
+        last-writer-wins ``meta.update`` silently discarded every run's
+        accounting but the last."""
+        merged = StatsRegistry()
+        for ticks in (100, 250, 7):
+            run = StatsRegistry()
+            run.set_meta("engine.ticks_executed", ticks)
+            run.set_meta("engine.cycles_fast_forwarded", 2 * ticks)
+            merged.merge(run)
+        assert merged.get_meta("engine.ticks_executed") == 357.0
+        assert merged.get_meta("engine.cycles_fast_forwarded") == 714.0
+
+    def test_merge_meta_non_numeric_last_writer_wins(self):
+        """Values set_meta never produces (strings, bools) fall back to
+        last-writer-wins rather than a nonsensical sum."""
+        a, b = StatsRegistry(), StatsRegistry()
+        a.meta["note"] = "first"
+        b.meta["note"] = "second"
+        a.meta["flag"] = True
+        b.meta["flag"] = True
+        a.merge(b)
+        assert a.meta["note"] == "second"
+        assert a.meta["flag"] is True   # not 2
+
     def test_meta_excluded_from_snapshot(self):
         stats = StatsRegistry()
         stats.incr("real.outcome")

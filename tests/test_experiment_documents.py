@@ -298,3 +298,47 @@ def test_load_errors_name_the_file(tmp_path):
     bad_json.write_text("{not json")
     with pytest.raises(DocumentError, match="invalid JSON"):
         load_experiment(bad_json)
+
+
+# ---------------------------------------------------------------------------
+# [report] table (additive, no schema bump)
+# ---------------------------------------------------------------------------
+
+def test_report_table_defaults_and_resolved_round_trip():
+    from repro.sim.journal import DEFAULT_CAPACITY, DEFAULT_SAMPLE_INTERVAL
+    document = experiment_from_dict(_minimal(report={}))
+    assert document.report == {"journal_capacity": DEFAULT_CAPACITY,
+                               "sample_interval": DEFAULT_SAMPLE_INTERVAL,
+                               "journal_tail": 40}
+    assert document.resolved()["report"] == document.report
+    # Documents without the table resolve without the key (old
+    # documents keep loading and keep resolving identically).
+    assert "report" not in experiment_from_dict(_minimal()).resolved()
+
+
+def test_report_table_overrides():
+    document = experiment_from_dict(_minimal(
+        report={"journal_capacity": 16, "sample_interval": 8,
+                "journal_tail": 5}))
+    assert document.report == {"journal_capacity": 16,
+                               "sample_interval": 8, "journal_tail": 5}
+
+
+def test_report_table_rejects_unknown_key_and_bad_values():
+    with pytest.raises(DocumentError, match="unknown key"):
+        experiment_from_dict(_minimal(report={"capacity": 5}))
+    with pytest.raises(DocumentError, match="journal_capacity"):
+        experiment_from_dict(_minimal(report={"journal_capacity": 0}))
+    with pytest.raises(DocumentError, match="sample_interval"):
+        experiment_from_dict(_minimal(report={"sample_interval": 0}))
+    with pytest.raises(DocumentError, match="journal_tail"):
+        experiment_from_dict(_minimal(report={"journal_tail": -1}))
+    with pytest.raises(DocumentError, match="wrong type"):
+        experiment_from_dict(_minimal(report={"sample_interval": "x"}))
+
+
+def test_report_table_does_not_change_spec_expansion():
+    plain = experiment_from_dict(_minimal())
+    with_report = experiment_from_dict(_minimal(report={}))
+    assert [spec.key() for spec in plain.specs] == \
+        [spec.key() for spec in with_report.specs]

@@ -1,0 +1,134 @@
+"""Observability HTML report: structure, self-containedness, drift gate.
+
+The report is rendered from instrumented re-runs of an experiment
+document.  These tests parse the emitted SVG (cell counts must equal
+the mesh size), assert the file references nothing external, and prove
+the digest cross-check actually fires on drift.
+"""
+
+import re
+
+import pytest
+
+from repro.analysis.report_html import (MAX_HEATMAP_WINDOWS,
+                                        ObservabilityDriftError,
+                                        _select_windows,
+                                        collect_observations,
+                                        render_report_html, result_digest,
+                                        write_html_report)
+from repro.api import experiment_from_dict, run_experiment
+
+_DOCUMENT = {
+    "schema": 1, "name": "report-smoke",
+    "description": "observability report smoke",
+    "configs": {"mesh3x3": {"preset": "variant", "width": 3,
+                            "height": 3}},
+    "runs": [
+        {"builder": "scorpio", "config": "mesh3x3", "label": "scorpio",
+         "workload": {"kind": "benchmark", "name": "fft",
+                      "ops_per_core": 8, "workload_scale": 0.02,
+                      "think_scale": 10.0, "seed": 0}},
+        {"builder": "multimesh", "config": "mesh3x3", "label": "mm2",
+         "params": {"n_meshes": 2},
+         "workload": {"kind": "benchmark", "name": "fft",
+                      "ops_per_core": 8, "workload_scale": 0.02,
+                      "think_scale": 10.0, "seed": 0}},
+    ],
+    "report": {"journal_capacity": 256, "sample_interval": 32,
+               "journal_tail": 10},
+}
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    experiment = experiment_from_dict(dict(_DOCUMENT))
+    outcome = run_experiment(experiment, jobs=1, cache=False)
+    observations = collect_observations(experiment, outcome.results)
+    html = render_report_html(experiment, observations)
+    return experiment, outcome, observations, html
+
+
+def test_every_heatmap_has_one_cell_per_mesh_node(rendered):
+    _experiment, _outcome, observations, html = rendered
+    svgs = re.findall(r'<svg class="mesh".*?</svg>', html)
+    assert svgs, "report contains no mesh heatmaps"
+    for svg in svgs:
+        cells = re.findall(r'<rect class="cell"', svg)
+        assert len(cells) == 3 * 3   # one rect per node, multimesh folded
+    # Two metrics (occupancy + in-flight) per selected window, per run.
+    expected = sum(
+        2 * len(_select_windows(len(obs.samples)))
+        for obs in observations)
+    assert len(svgs) == expected
+
+
+def test_report_is_self_contained(rendered):
+    _experiment, _outcome, _observations, html = rendered
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html
+    assert not re.search(r'(?:src|href)\s*=\s*["\']https?://', html)
+    assert "<style>" in html
+
+
+def test_report_carries_journal_tail_and_progress(rendered):
+    _experiment, _outcome, observations, html = rendered
+    assert "Sweep progress" in html
+    assert html.count("match</span>") == len(observations)
+    assert "DRIFT" not in html
+    for obs in observations:
+        assert obs.digest_matches
+        assert len(obs.journal_tail) <= 10     # [report] journal_tail
+        assert obs.journal_records <= 256      # [report] journal_capacity
+        assert obs.samples, "sampler produced no windows"
+    assert "Journal tail" in html
+
+
+def test_timelines_render_one_polyline_pair_per_run(rendered):
+    _experiment, _outcome, observations, html = rendered
+    timelines = re.findall(r'<svg class="timeline".*?</svg>', html)
+    assert len(timelines) == len(observations)
+    for svg in timelines:
+        assert svg.count("<polyline") == 2     # occupancy + in-flight
+
+
+def test_write_html_report_creates_file(rendered, tmp_path):
+    experiment, outcome, _observations, _html = rendered
+    path = write_html_report(tmp_path / "obs", experiment,
+                             outcome.results)
+    assert path.name == "report.html"
+    text = path.read_text(encoding="utf-8")
+    assert "report-smoke" in text
+
+
+def test_drift_raises(rendered):
+    """A tampered envelope result must trip the digest cross-check."""
+    experiment, outcome, _observations, _html = rendered
+    tampered = list(outcome.results)
+    import copy
+    broken = copy.deepcopy(tampered[0])
+    broken.runtime += 1
+    tampered[0] = broken
+    with pytest.raises(ObservabilityDriftError, match="run 0"):
+        collect_observations(experiment, tampered)
+
+
+def test_result_digest_tracks_payload(rendered):
+    _experiment, outcome, _observations, _html = rendered
+    first = outcome.results[0]
+    assert result_digest(first) == result_digest(first)
+    import copy
+    other = copy.deepcopy(first)
+    other.stats = dict(other.stats, **{"x.y": 1.0})
+    assert result_digest(other) != result_digest(first)
+    # label/cached are display bookkeeping, not payload.
+    relabelled = copy.deepcopy(first)
+    relabelled.label, relabelled.cached = "else", True
+    assert result_digest(relabelled) == result_digest(first)
+
+
+def test_select_windows_downsamples_with_endpoints():
+    assert _select_windows(5) == [0, 1, 2, 3, 4]
+    picked = _select_windows(100)
+    assert len(picked) <= MAX_HEATMAP_WINDOWS
+    assert picked[0] == 0 and picked[-1] == 99
+    assert picked == sorted(set(picked))

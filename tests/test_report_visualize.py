@@ -4,7 +4,8 @@ import pytest
 
 from repro.analysis.report import DEFAULT_FIGURES, build_report
 from repro.noc.config import NocConfig
-from repro.noc.visualize import (hotspot_nodes, occupancy_map, render_grid,
+from repro.noc.visualize import (compact_number, hotspot_nodes,
+                                 occupancy_map, render_grid,
                                  render_heatmap, traffic_map)
 
 
@@ -52,6 +53,44 @@ class TestRenderGrid:
     def test_narrow_cells_rejected(self):
         with pytest.raises(ValueError):
             render_grid({}, NocConfig(width=2, height=2), cell_width=2)
+
+    def test_wide_values_compact_instead_of_truncating(self):
+        """12345 used to render as '1234' (silent digit drop); the
+        width-aware formatter must shift notation, never truncate."""
+        config = NocConfig(width=2, height=1)
+        text = render_grid({0: 12345.0, 1: 2.0}, config)  # 4-char cells
+        assert "1234" not in text
+        assert "1e4" in text
+        assert "2" in text
+
+    def test_compact_number_candidates(self):
+        assert compact_number(12345.0, 4) == "1e4"
+        assert compact_number(12345.0, 6) == "12345"
+        assert compact_number(0.0, 4) == "0"
+        assert compact_number(-12345.0, 4) == "-1e4"
+        assert compact_number(0.25, 4) == "0.25"
+        with pytest.raises(ValueError, match="cell_width"):
+            compact_number(1e-300, 2)
+
+    def test_unrepresentable_value_raises(self):
+        config = NocConfig(width=1, height=1)
+        with pytest.raises(ValueError, match="cell_width"):
+            render_grid({0: 1.23456e-300}, config, cell_width=3)
+
+    def test_out_of_range_node_ids_raise(self):
+        """A mis-sized NocConfig must fail loudly, not render a
+        plausible-looking grid with the out-of-mesh nodes dropped."""
+        config = NocConfig(width=2, height=2)
+        with pytest.raises(ValueError, match=r"\[4\]"):
+            render_grid({0: 1.0, 4: 9.0}, config)
+        with pytest.raises(ValueError, match="outside"):
+            render_heatmap({-1: 3.0}, config)
+
+    def test_overlong_custom_label_raises(self):
+        config = NocConfig(width=1, height=1)
+        with pytest.raises(ValueError, match="wider than"):
+            render_grid({0: 1.0}, config, cell_width=3,
+                        label=lambda v: "toolong")
 
 
 class TestHeatmap:
