@@ -28,8 +28,8 @@ from repro.analysis.comparison import compare_systems
 from repro.api.document import (DOCUMENT_SCHEMA, RESULTS_SCHEMA,
                                 DocumentError, ExperimentResult,
                                 ExperimentSpec, describe_experiment,
-                                experiment_from_dict, load_experiment,
-                                run_experiment)
+                                envelope_bytes, experiment_from_dict,
+                                load_experiment, run_experiment)
 from repro.core.api import (PROTOCOLS, RunResult, compare_protocols,
                             normalized_runtimes, run_benchmark,
                             run_trace_file)
@@ -53,7 +53,8 @@ __all__ = [
     "ExperimentResult", "ExperimentSpec", "PROTOCOLS", "ResultCache",
     "RunResult", "RunSpec", "SerializableConfig", "StatsFrame", "Sweep",
     "SweepResult", "SystemSpec", "builder_names", "compare_protocols",
-    "compare_systems", "describe_experiment", "experiment_from_dict",
+    "compare_systems", "describe_experiment", "envelope_bytes",
+    "experiment_from_dict",
     "list_builders", "load_experiment", "normalized_runtimes",
     "run_benchmark", "run_experiment", "run_grid", "run_sweep",
     "run_trace_file",

@@ -546,12 +546,20 @@ class ExperimentResult:
     results: List[Any] = field(default_factory=list)
     litmus_verdicts: Dict[str, bool] = field(default_factory=dict)
     bench_report: Optional[Dict[str, Any]] = None
+    # Per-job cache effectiveness: {"hits": int, "misses": int} counted
+    # over exactly this job's lookups (one per spec, in spec order), or
+    # None when the job ran uncached.  One miss per *requested* point:
+    # a duplicate of a pending point counts as its own miss even though
+    # it simulates once.
+    cache_stats: Optional[Dict[str, int]] = None
 
     def payload(self) -> Dict[str, Any]:
         """The stable results envelope ``repro run-file --output``
         writes: a schema tag, the document identity, one canonical
         ``SweepResult`` payload per run (cache-invariant), and the SC
-        verdicts for litmus documents."""
+        verdicts for litmus documents.  Cached executions also carry
+        this job's hit/miss counts under ``"cache"`` (purely additive:
+        uncached envelopes are byte-identical to pre-stats ones)."""
         out: Dict[str, Any] = {
             "schema": RESULTS_SCHEMA,
             "experiment": self.experiment.name,
@@ -562,7 +570,21 @@ class ExperimentResult:
             out["litmus"] = dict(sorted(self.litmus_verdicts.items()))
         if self.bench_report is not None:
             out["bench"] = self.bench_report
+        if self.cache_stats is not None:
+            out["cache"] = dict(self.cache_stats)
         return out
+
+
+def envelope_bytes(payload: Mapping[str, Any]) -> bytes:
+    """The canonical serialized form of a results envelope.
+
+    Every writer of an envelope — ``repro run-file --output``, the
+    ``repro serve`` result endpoint, the submit client's ``--output`` —
+    serializes through this one function, so the service's byte-identity
+    contract (HTTP result == local ``run-file`` result) holds by
+    construction."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            ).encode("utf-8")
 
 
 def collect_experiment_result(experiment: ExperimentSpec,
@@ -597,13 +619,25 @@ def run_experiment(experiment: Union[ExperimentSpec, str, Path],
                    cache=None) -> ExperimentResult:
     """Execute an experiment document (or its path) through the sweep
     runner; ``jobs``/``cache`` default to the process execution context
-    exactly like :func:`~repro.experiments.sweep.run_sweep`."""
+    exactly like :func:`~repro.experiments.sweep.run_sweep`.  Cached
+    executions record this job's hit/miss delta in ``cache_stats`` (and
+    hence the envelope), so cache effectiveness is observable per job
+    even when the ``ResultCache`` object is shared across jobs."""
     from repro.experiments import run_sweep
+    from repro.experiments.cache import as_cache
+    from repro.experiments.context import get_context
     if not isinstance(experiment, ExperimentSpec):
         experiment = load_experiment(experiment)
-    results = run_sweep(experiment.specs, jobs=jobs, cache=cache) \
+    resolved = get_context().cache if cache is None else as_cache(cache)
+    before = (resolved.hits, resolved.misses) if resolved else (0, 0)
+    results = run_sweep(experiment.specs, jobs=jobs,
+                        cache=resolved if resolved is not None else False) \
         if experiment.specs else []
-    return collect_experiment_result(experiment, results)
+    collected = collect_experiment_result(experiment, results)
+    if resolved is not None:
+        collected.cache_stats = {"hits": resolved.hits - before[0],
+                                 "misses": resolved.misses - before[1]}
+    return collected
 
 
 def describe_experiment(experiment: Union[ExperimentSpec, str, Path],

@@ -34,6 +34,13 @@ Commands:
 * ``bench`` — time the quiescence kernel on/off on fixed workloads and
   write ``BENCH_8.json`` (``--smoke`` for the tiny CI regime).
 * ``litmus`` — run the sequential-consistency litmus suite.
+* ``serve`` — run the sweep-service frontend (HTTP job queue + shared
+  result cache + optional spool directory; see docs/architecture.md,
+  "The sweep service").
+* ``submit`` — submit an experiment document to a running frontend;
+  ``--wait`` streams progress and downloads the results envelope
+  (byte-identical to ``run-file --output`` on the same document).
+* ``jobs`` — list a frontend's jobs.
 
 ``sweep``, ``figure``, ``report`` and ``litmus`` honour ``REPRO_JOBS``
 and ``REPRO_CACHE_DIR`` as defaults for ``--jobs``/``--cache-dir``;
@@ -219,6 +226,57 @@ def build_parser() -> argparse.ArgumentParser:
                           default="scorpio")
     add_executor_options(litmus_p)
 
+    serve_p = sub.add_parser(
+        "serve", help="run the sweep-service frontend (HTTP job queue "
+                      "over the shared result cache)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 picks a free one)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="shared result-cache directory or the URL "
+                              "of another frontend (default: "
+                              "REPRO_CACHE_DIR; required)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="sweep-point worker processes (default: 2)")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="per-point retries after a worker dies or "
+                              "times out (default: 1)")
+    serve_p.add_argument("--point-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-point wall-clock budget (default: "
+                              "unbounded)")
+    serve_p.add_argument("--spool", default=None, metavar="DIR",
+                         help="also claim documents dropped into DIR "
+                              "(shared across hosts: atomic-rename "
+                              "claims, one winner per document)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+
+    def add_url_option(p):
+        import os
+        p.add_argument("--url",
+                       default=os.environ.get("REPRO_SERVE_URL",
+                                              "http://127.0.0.1:8765"),
+                       help="frontend URL (default: REPRO_SERVE_URL or "
+                            "http://127.0.0.1:8765)")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit an experiment document to a running "
+                       "frontend")
+    submit_p.add_argument("path")
+    add_url_option(submit_p)
+    submit_p.add_argument("--wait", action="store_true",
+                          help="stream progress until the job finishes "
+                               "and report its cache stats")
+    submit_p.add_argument("--output", default=None,
+                          help="with --wait: write the results envelope "
+                               "(byte-identical to run-file --output)")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          help="with --wait: give up after SECONDS")
+
+    jobs_p = sub.add_parser("jobs", help="list a frontend's jobs")
+    add_url_option(jobs_p)
+
     return parser
 
 
@@ -323,8 +381,6 @@ def cmd_sweep(args, out) -> int:
 
 
 def cmd_run_file(args, out) -> int:
-    import json as _json
-
     from repro.api import DocumentError, load_experiment, run_experiment
     from repro.experiments import as_cache, get_context
     try:
@@ -376,10 +432,9 @@ def cmd_run_file(args, out) -> int:
         print(f"cache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.directory})", file=out)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            _json.dump(outcome.payload(), handle, indent=2,
-                       sort_keys=True)
-            handle.write("\n")
+        from repro.api import envelope_bytes
+        with open(args.output, "wb") as handle:
+            handle.write(envelope_bytes(outcome.payload()))
         print(f"results -> {args.output}", file=out)
     if args.report is not None:
         from repro.analysis.report_html import (ObservabilityDriftError,
@@ -518,6 +573,105 @@ def cmd_litmus(args, out) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_serve(args, out) -> int:
+    from repro.experiments import get_context
+    from repro.serve.server import serve
+    cache = args.cache_dir
+    if cache is None:
+        context_cache = get_context().cache
+        if context_cache is not None:
+            cache = context_cache.directory
+    if cache is None:
+        print("error: serve needs a shared cache (--cache-dir or "
+              "REPRO_CACHE_DIR)", file=out)
+        return 2
+    server = serve(cache, host=args.host, port=args.port,
+                   workers=args.workers, retries=args.retries,
+                   point_timeout=args.point_timeout, spool=args.spool,
+                   quiet=not args.verbose)
+    print(f"sweep service listening on {server.url}", file=out)
+    print(f"cache: {server.service.backend.location}", file=out)
+    if args.spool:
+        print(f"spool: {args.spool}", file=out)
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_submit(args, out) -> int:
+    from repro.api.client import ServeClient, ServeError
+    client = ServeClient(args.url)
+    try:
+        if not args.wait:
+            summary = client.submit_path(args.path)
+            cache = summary["cache"]
+            print(f"{summary['job']}: {summary['experiment']} "
+                  f"({summary['points']} points, {cache['hits']} hits, "
+                  f"{summary['pending']} pending) -> {args.url}",
+                  file=out)
+            return 0
+
+        def report(event) -> None:
+            kind = event.get("event")
+            if kind == "queued":
+                print(f"{event['job']}: {event['points']} points, "
+                      f"{event['hits']} hits, {event['pending']} "
+                      f"to run", file=out)
+            elif kind == "point":
+                print(f"  point {event['fingerprint'][:12]} done",
+                      file=out)
+            elif kind == "retry":
+                print(f"  point {event['fingerprint'][:12]} retrying: "
+                      f"{event['error']}", file=out)
+            elif kind == "point_failed":
+                print(f"  point {event['fingerprint'][:12]} FAILED: "
+                      f"{event['error']}", file=out)
+
+        outcome = client.run(args.path, timeout=args.timeout,
+                             on_event=report)
+    except ServeError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    summary = outcome.summary
+    cache = summary["cache"]
+    print(f"{summary['job']} done: {summary['points']} points "
+          f"(cache: {cache['hits']} hits, {cache['misses']} misses)",
+          file=out)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(outcome.envelope)
+        print(f"results -> {args.output}", file=out)
+    return 0
+
+
+def cmd_jobs(args, out) -> int:
+    from repro.api.client import ServeClient, ServeError
+    try:
+        jobs = ServeClient(args.url).jobs()
+    except ServeError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    if not jobs:
+        print(f"no jobs at {args.url}", file=out)
+        return 0
+    header = f"{'job':<10}{'experiment':<24}{'state':<9}" \
+             f"{'points':>7}{'pending':>8}{'hits':>6}{'misses':>7}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for job in jobs:
+        cache = job["cache"]
+        print(f"{job['job']:<10}{job['experiment']:<24}{job['state']:<9}"
+              f"{job['points']:>7}{job['pending']:>8}"
+              f"{cache['hits']:>6}{cache['misses']:>7}", file=out)
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
@@ -531,6 +685,9 @@ COMMANDS = {
     "features": cmd_features,
     "bench": cmd_bench,
     "litmus": cmd_litmus,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
 }
 
 

@@ -19,7 +19,9 @@ from repro.experiments.builders import (SystemBuilder, SystemRunOutcome,
                                         execute_system_spec, get_builder,
                                         list_builders, register_builder,
                                         resolve_workload, workload_kinds)
-from repro.experiments.cache import ResultCache, as_cache, code_version
+from repro.experiments.cache import (CacheBackend, LocalDirBackend,
+                                     ResultCache, as_backend, as_cache,
+                                     code_version)
 from repro.experiments.checkpoint_exec import (build_for_spec,
                                                collect_for_spec,
                                                execute_spec_checkpointed,
@@ -29,12 +31,15 @@ from repro.experiments.checkpoint_exec import (build_for_spec,
 from repro.experiments.context import (ExecutionContext, configure,
                                        executing, get_context)
 from repro.experiments.spec import RunSpec, config_to_dict, profile_to_dict
-from repro.experiments.sweep import (Sweep, SweepResult, execute_spec,
-                                     run_grid, run_sweep, sweep_compare)
+from repro.experiments.sweep import (Sweep, SweepPointError, SweepResult,
+                                     execute_spec, run_grid, run_sweep,
+                                     sweep_compare)
 
 __all__ = [
-    "ExecutionContext", "ResultCache", "RunSpec", "Sweep", "SweepResult",
-    "SystemBuilder", "SystemRunOutcome", "SystemSpec", "as_cache",
+    "CacheBackend", "ExecutionContext", "LocalDirBackend", "ResultCache",
+    "RunSpec", "Sweep", "SweepPointError", "SweepResult",
+    "SystemBuilder", "SystemRunOutcome", "SystemSpec", "as_backend",
+    "as_cache",
     "build_for_spec", "builder_names", "code_version", "collect_for_spec",
     "configure", "config_to_dict", "executing", "execute_spec",
     "execute_spec_checkpointed", "execute_system_spec", "get_builder",

@@ -1,14 +1,30 @@
-"""On-disk result cache for experiment runs.
+"""On-disk result cache for experiment runs, behind a backend protocol.
 
-Results live one JSON file per fingerprint under a two-level fan-out
-(``<dir>/ab/abcdef....json``) so warm directories stay listable.  The
-fingerprint already encodes the :func:`code_version` of the simulator
-source, so editing any file under ``src/repro`` naturally invalidates
-every cached result — no manual cache busting required.
+Storage is split from bookkeeping:
 
-Writes are atomic (temp file + ``os.replace``), which makes the cache
-safe to share between the parallel sweep workers and between concurrent
-pytest/CLI invocations pointed at the same directory.
+* :class:`CacheBackend` is the minimal content-addressed store protocol
+  (``get``/``put``/``contains`` by fingerprint).  Two implementations
+  exist: :class:`LocalDirBackend` (the original one-JSON-file-per-
+  fingerprint directory layout below) and the remote HTTP backend in
+  :mod:`repro.serve.backend`, which talks to the cache endpoints of a
+  running ``repro serve`` frontend so workers on other hosts share one
+  store.
+* :class:`ResultCache` wraps any backend with hit/miss accounting and
+  is what the sweep runner and every CLI entry point handle.
+
+Local results live one JSON file per fingerprint under a two-level
+fan-out (``<dir>/ab/abcdef....json``) so warm directories stay listable.
+The fingerprint already encodes the :func:`code_version` of the
+simulator source, so editing any file under ``src/repro`` naturally
+invalidates every cached result — no manual cache busting required.
+
+Local writes are atomic (temp file + ``os.replace``), which makes the
+cache safe to share between parallel sweep workers, concurrent pytest/
+CLI invocations, and multiple serve hosts pointed at one directory:
+concurrent ``put`` calls of the same fingerprint race benignly — the
+last writer wins and a reader always sees a complete entry, never a
+torn one (``tests/test_serve_backend.py`` stress-proves this across
+processes).
 """
 
 from __future__ import annotations
@@ -42,22 +58,49 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
-class ResultCache:
-    """Content-addressed store of run payloads (JSON dicts)."""
+class CacheBackend:
+    """Protocol for a content-addressed payload store.
+
+    Implementations map a fingerprint (hex digest string) to a JSON
+    payload dict.  ``get`` returns None on a miss, ``put`` must be
+    atomic (a concurrent reader sees the old entry, the new entry, or a
+    miss — never a torn file), ``contains`` must not mutate anything.
+    ``location`` is a human-readable description for log lines.
+    """
+
+    location: str = "<abstract>"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def contains(self, fingerprint: str) -> bool:
+        raise NotImplementedError
+
+    def entries(self) -> int:
+        raise NotImplementedError
+
+
+class LocalDirBackend(CacheBackend):
+    """The original directory layout: ``<dir>/ab/abcdef....json``."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         # expanduser: "~/..." arrives unexpanded from .env files, CI
         # yaml, or REPRO_CACHE_DIR set without shell interpolation, and
         # would otherwise create a literal "./~" directory.
         self.directory = Path(directory).expanduser()
-        self.hits = 0
-        self.misses = 0
+
+    @property
+    def location(self) -> str:
+        return str(self.directory)
 
     def _path(self, fingerprint: str) -> Path:
         return self.directory / fingerprint[:2] / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
-        """The cached payload for *fingerprint*, or None on a miss.
+        """The stored payload for *fingerprint*, or None on a miss.
 
         A corrupt or truncated file (e.g. an interrupted legacy writer)
         counts as a miss; the next :meth:`put` repairs it.
@@ -65,12 +108,9 @@ class ResultCache:
         path = self._path(fingerprint)
         try:
             with path.open("r", encoding="utf-8") as fh:
-                payload = json.load(fh)
+                return json.load(fh)
         except (OSError, ValueError):
-            self.misses += 1
             return None
-        self.hits += 1
-        return payload
 
     def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
         path = self._path(fingerprint)
@@ -87,28 +127,95 @@ class ResultCache:
                 pass
             raise
 
+    def contains(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).is_file()
+
     def entries(self) -> int:
-        """Number of results currently stored on disk.
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+
+class ResultCache:
+    """Hit/miss-accounted view over a :class:`CacheBackend`.
+
+    Constructed from a directory path (the common case: a
+    :class:`LocalDirBackend` is created) or from any backend instance
+    (``repro serve`` workers pass the remote HTTP backend here).
+    """
+
+    def __init__(self, store: Union[str, Path, CacheBackend]) -> None:
+        if isinstance(store, CacheBackend):
+            self.backend = store
+        else:
+            self.backend = LocalDirBackend(store)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self):
+        """The local backend's directory ``Path`` (kept for callers and
+        log lines that predate the backend split); for non-local
+        backends this is the backend's location string."""
+        backend = self.backend
+        if isinstance(backend, LocalDirBackend):
+            return backend.directory
+        return backend.location
+
+    def _path(self, fingerprint: str) -> Path:
+        """Local-backend entry path (test/debugging hook)."""
+        return self.backend._path(fingerprint)  # type: ignore[attr-defined]
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        payload = self.backend.get(fingerprint)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        self.backend.put(fingerprint, payload)
+
+    def contains(self, fingerprint: str) -> bool:
+        """Presence probe; deliberately not counted as a hit or a miss
+        (the serve scheduler polls it, which must not skew job stats)."""
+        return self.backend.contains(fingerprint)
+
+    def entries(self) -> int:
+        """Number of results currently stored.
 
         Deliberately not ``__len__``: that would make an *empty* cache
         falsy, and ``if cache`` guards are how callers test for an
         *absent* cache.
         """
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        return self.backend.entries()
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": self.entries()}
 
 
-def as_cache(cache: Union[None, bool, str, Path, ResultCache]
+def as_backend(store: Union[str, Path, CacheBackend]) -> CacheBackend:
+    """Coerce a store description into a backend: an ``http(s)://`` URL
+    becomes the remote backend of a ``repro serve`` frontend, anything
+    else a local directory."""
+    if isinstance(store, CacheBackend):
+        return store
+    if isinstance(store, str) and store.startswith(("http://", "https://")):
+        from repro.serve.backend import RemoteCacheBackend
+        return RemoteCacheBackend(store)
+    return LocalDirBackend(store)
+
+
+def as_cache(cache: Union[None, bool, str, Path, CacheBackend, ResultCache]
              ) -> Optional[ResultCache]:
     """Coerce a user-facing cache argument into a :class:`ResultCache`.
 
     ``None``/``False`` disable caching; a string/path becomes a cache
-    rooted there; an existing :class:`ResultCache` passes through.
+    rooted there (an ``http(s)://`` string becomes a remote cache
+    against a serve frontend); an existing :class:`ResultCache` passes
+    through.
     """
     if cache is None or cache is False:
         return None
@@ -117,4 +224,4 @@ def as_cache(cache: Union[None, bool, str, Path, ResultCache]
                          "or a ResultCache (or set REPRO_CACHE_DIR)")
     if isinstance(cache, ResultCache):
         return cache
-    return ResultCache(cache)
+    return ResultCache(as_backend(cache))

@@ -1,0 +1,287 @@
+"""Per-point worker processes: timeout, bounded retry, exact attribution.
+
+``multiprocessing.Pool.map`` — what the sweep runner used to fan out on
+— cannot survive a worker that dies mid-task: the pool respawns the
+process but the in-flight task is silently lost and ``map`` waits
+forever.  :class:`SlotPool` runs every task in its **own** child process
+instead, so the parent always knows exactly which point an exit code
+belongs to:
+
+* a task that returns normally sends its result back over a dedicated
+  pipe and the slot reports ``done``;
+* a task that raises sends the formatted error back and the slot
+  reports a failed attempt with the real traceback;
+* a task whose process dies without a word (SIGKILL, OOM, segfault) or
+  overruns its per-task timeout (the parent kills it) reports a failed
+  attempt naming the signal/exit code.
+
+Failed attempts retry with exponential backoff up to ``retries`` times
+(default 1); a point that exhausts its attempts is reported ``failed``
+with its last error — callers surface those loudly, never as a hang or
+a silent gap.  One process per task costs a ``fork()`` per point
+(milliseconds) against simulations that run for seconds, and buys the
+reliability contract the sweep service is built on.
+
+The pool is deliberately event-loop-free: callers drive it by calling
+:meth:`SlotPool.step` (fill free slots, reap finished processes, emit
+events) and :meth:`SlotPool.wait` (block on the running processes'
+sentinels).  ``run_sweep`` drives it synchronously via :func:`run_points`;
+the serve scheduler drives the same pool from its dispatch thread.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# (kind, key, ...) event tuples emitted by SlotPool.step:
+#   ("done",   key, result)
+#   ("retry",  key, attempt, error)    -- attempt just failed, will rerun
+#   ("failed", key, error)             -- attempts exhausted, giving up
+Event = Tuple[Any, ...]
+
+DEFAULT_RETRIES = 1
+DEFAULT_BACKOFF = 0.5
+
+
+def _slot_main(worker: Callable[[Any], Any], item: Any, conn) -> None:
+    """Child-process entry: run one task, ship the outcome back."""
+    try:
+        result = worker(item)
+    except BaseException as exc:
+        import traceback
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc()))
+        finally:
+            conn.close()
+        sys.exit(1)
+    conn.send(("ok", result))
+    conn.close()
+
+
+class _Task:
+    __slots__ = ("key", "item", "attempts", "not_before", "last_error")
+
+    def __init__(self, key: Any, item: Any) -> None:
+        self.key = key
+        self.item = item
+        self.attempts = 0
+        self.not_before = 0.0
+        self.last_error = ""
+
+
+class _Slot:
+    __slots__ = ("task", "process", "conn", "deadline", "timed_out")
+
+    def __init__(self, task: _Task, process, conn,
+                 deadline: Optional[float]) -> None:
+        self.task = task
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.timed_out = False
+
+
+class SlotPool:
+    """A bounded set of one-process-per-task worker slots.
+
+    ``worker`` must be callable in a forked child (module-level for
+    portability); ``timeout`` is the per-attempt wall-clock budget in
+    seconds (None: unbounded); ``precheck``, when given, is consulted
+    immediately before a task would occupy a slot — a non-None return
+    becomes the task's result without spawning anything (the serve
+    scheduler uses this to skip points another host already computed).
+    """
+
+    def __init__(self, worker: Callable[[Any], Any], jobs: int,
+                 retries: int = DEFAULT_RETRIES,
+                 timeout: Optional[float] = None,
+                 backoff: float = DEFAULT_BACKOFF,
+                 precheck: Optional[Callable[[Any], Optional[Any]]] = None,
+                 ) -> None:
+        self.worker = worker
+        self.jobs = max(1, jobs)
+        self.retries = max(0, retries)
+        self.timeout = timeout
+        self.backoff = backoff
+        self.precheck = precheck
+        self._queue: List[_Task] = []
+        self._slots: List[_Slot] = []
+        self._pending = 0
+        # Worker processes actually started (attempts included, precheck
+        # skips excluded) — the "did any simulation work happen" probe.
+        self.spawned = 0
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+
+    def submit(self, key: Any, item: Any) -> None:
+        self._queue.append(_Task(key, item))
+        self._pending += 1
+
+    def pending(self) -> int:
+        """Tasks not yet resolved (queued, backing off, or running)."""
+        return self._pending
+
+    def step(self) -> List[Event]:
+        """Reap finished/overrun slots, start queued tasks, emit events."""
+        events: List[Event] = []
+        now = time.monotonic()
+        self._reap(now, events)
+        self._fill(now, events)
+        return events
+
+    def wait(self, timeout: float = 0.2) -> None:
+        """Block until a running process exits, the earliest retry/
+        timeout deadline arrives, or *timeout* elapses."""
+        deadline = time.monotonic() + timeout
+        for slot in self._slots:
+            if slot.deadline is not None and slot.deadline < deadline:
+                deadline = slot.deadline
+        for task in self._queue:
+            if task.not_before and task.not_before < deadline:
+                deadline = task.not_before
+        remaining = deadline - time.monotonic()
+        sentinels = [slot.process.sentinel for slot in self._slots]
+        if sentinels:
+            _wait_connections(sentinels, timeout=max(0.0, remaining))
+        elif remaining > 0:
+            time.sleep(min(remaining, timeout))
+
+    def close(self) -> None:
+        """Kill every running process and drop the queue."""
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.kill()
+            slot.process.join()
+            slot.conn.close()
+        self._slots = []
+        self._queue = []
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fill(self, now: float, events: List[Event]) -> None:
+        if not self._queue:
+            return
+        held: List[_Task] = []
+        while self._queue and len(self._slots) < self.jobs:
+            task = self._queue.pop(0)
+            if task.not_before > now:
+                held.append(task)
+                continue
+            if self.precheck is not None:
+                result = self.precheck(task.key)
+                if result is not None:
+                    self._pending -= 1
+                    events.append(("done", task.key, result))
+                    continue
+            self._spawn(task, now)
+        self._queue[0:0] = held
+
+    def _spawn(self, task: _Task, now: float) -> None:
+        self.spawned += 1
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_slot_main, args=(self.worker, task.item, child_conn))
+        process.start()
+        # Close the parent's copy of the write end: once the child dies,
+        # the pipe must read EOF instead of blocking forever.
+        child_conn.close()
+        deadline = None if self.timeout is None else now + self.timeout
+        self._slots.append(_Slot(task, process, parent_conn, deadline))
+
+    def _reap(self, now: float, events: List[Event]) -> None:
+        still_running: List[_Slot] = []
+        for slot in self._slots:
+            process = slot.process
+            if process.is_alive():
+                if slot.deadline is not None and now >= slot.deadline:
+                    slot.timed_out = True
+                    process.kill()
+                    process.join()
+                else:
+                    still_running.append(slot)
+                    continue
+            else:
+                process.join()
+            self._finish(slot, events)
+        self._slots = still_running
+
+    def _finish(self, slot: _Slot, events: List[Event]) -> None:
+        task = slot.task
+        outcome: Optional[Tuple] = None
+        try:
+            if slot.conn.poll():
+                outcome = slot.conn.recv()
+        except (EOFError, OSError):
+            outcome = None       # died mid-send: counts as a dead worker
+        finally:
+            slot.conn.close()
+        if outcome is not None and outcome[0] == "ok":
+            self._pending -= 1
+            events.append(("done", task.key, outcome[1]))
+            return
+        if slot.timed_out:
+            error = (f"timed out after {self.timeout:.1f}s "
+                     f"(attempt {task.attempts + 1})")
+        elif outcome is not None:
+            error = outcome[1]
+        else:
+            code = slot.process.exitcode
+            died = (f"killed by signal {-code}" if code is not None
+                    and code < 0 else f"exit code {code}")
+            error = (f"worker process died without reporting a result "
+                     f"({died}, attempt {task.attempts + 1})")
+        task.attempts += 1
+        task.last_error = error
+        if task.attempts > self.retries:
+            self._pending -= 1
+            events.append(("failed", task.key, error))
+            return
+        task.not_before = time.monotonic() \
+            + self.backoff * (2 ** (task.attempts - 1))
+        events.append(("retry", task.key, task.attempts, error))
+        self._queue.append(task)
+
+
+def run_points(items: List[Tuple[Any, Any]],
+               worker: Callable[[Any], Any], jobs: int,
+               retries: int = DEFAULT_RETRIES,
+               timeout: Optional[float] = None,
+               backoff: float = DEFAULT_BACKOFF,
+               on_event: Optional[Callable[[Event], None]] = None,
+               ) -> Tuple[Dict[Any, Any], Dict[Any, str]]:
+    """Drive a :class:`SlotPool` over *items* (``(key, payload)`` pairs)
+    to completion; returns ``(results, failures)`` keyed like *items*.
+
+    The synchronous front door used by ``run_sweep``; *on_event* sees
+    every pool event (the CLI prints retries through it).
+    """
+    pool = SlotPool(worker=worker, jobs=jobs, retries=retries,
+                    timeout=timeout, backoff=backoff)
+    for key, item in items:
+        pool.submit(key, item)
+    results: Dict[Any, Any] = {}
+    failures: Dict[Any, str] = {}
+    try:
+        while pool.pending():
+            for event in pool.step():
+                if on_event is not None:
+                    on_event(event)
+                if event[0] == "done":
+                    results[event[1]] = event[2]
+                elif event[0] == "failed":
+                    failures[event[1]] = event[2]
+            if pool.pending():
+                pool.wait()
+    finally:
+        pool.close()
+    return results, failures

@@ -9,11 +9,16 @@ Execution strategy:
 
 1. every spec is fingerprinted (config + workload + knobs + simulator
    source version) and looked up in the result cache, if one is active;
-2. the misses run — serially for ``jobs=1``, otherwise fanned out over a
-   ``multiprocessing`` pool.  Simulations are deterministic in the spec
-   (engine RNG and trace generation are seeded; see
-   ``tests/test_determinism.py``), so runs are embarrassingly parallel
-   and a parallel sweep is bit-identical to a serial one;
+2. the misses run — serially for ``jobs=1``, otherwise fanned out over
+   per-point worker processes (:mod:`repro.experiments.procpool`).
+   Simulations are deterministic in the spec (engine RNG and trace
+   generation are seeded; see ``tests/test_determinism.py``), so runs
+   are embarrassingly parallel and a parallel sweep is bit-identical to
+   a serial one.  A worker that dies mid-point (crash, OOM kill,
+   timeout) does not lose the point: it retries up to ``retries`` times
+   (default 1) and a point that keeps failing raises a loud
+   :class:`SweepPointError` naming every failed fingerprint — never a
+   hang, never a silent gap in the results;
 3. fresh results are written back to the cache.
 
 ``SweepResult.payload()`` is the canonical serialized form: it is what
@@ -22,7 +27,7 @@ the cache stores, and byte-for-byte what a cache hit returns.
 
 from __future__ import annotations
 
-import multiprocessing
+import sys
 from dataclasses import dataclass, field
 from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -34,6 +39,7 @@ from repro.experiments.builders import (SystemRunOutcome, SystemSpec,
                                         execute_system_spec)
 from repro.experiments.cache import ResultCache, as_cache, code_version
 from repro.experiments.context import get_context
+from repro.experiments.procpool import DEFAULT_RETRIES, run_points
 from repro.experiments.spec import RunSpec
 from repro.workloads.synthetic import WorkloadProfile
 
@@ -222,9 +228,27 @@ def _pool_worker(item: Tuple[Union[RunSpec, SystemSpec], str]
     return SweepResult.from_run(spec, fingerprint, result).payload()
 
 
+class SweepPointError(RuntimeError):
+    """One or more sweep points failed permanently (after retries).
+
+    ``failures`` maps fingerprint -> last error message; the exception
+    text lists every failed point, so a partially-failed sweep is loud
+    and attributable instead of a hang or a silent gap in the results.
+    """
+
+    def __init__(self, failures: Dict[str, str]) -> None:
+        self.failures = dict(failures)
+        lines = "".join(f"\n  {fp}: {error}"
+                        for fp, error in self.failures.items())
+        super().__init__(f"{len(self.failures)} sweep point(s) failed "
+                         f"permanently:{lines}")
+
+
 def run_sweep(sweep: Union[Sweep, Iterable[Union[RunSpec, SystemSpec]]],
               jobs: Optional[int] = None,
               cache: Union[None, bool, str, ResultCache] = None,
+              retries: int = DEFAULT_RETRIES,
+              point_timeout: Optional[float] = None,
               ) -> List[SweepResult]:
     """Execute a sweep (or any iterable of specs), in spec order.
 
@@ -233,7 +257,10 @@ def run_sweep(sweep: Union[Sweep, Iterable[Union[RunSpec, SystemSpec]]],
     (registered system-builder points) in one batch.  ``jobs``/``cache``
     default to the process execution context (see
     :mod:`repro.experiments.context`); pass ``cache=False`` to bypass an
-    active cache for one call.
+    active cache for one call.  In the parallel path a dying or
+    ``point_timeout``-overrunning worker retries its point up to
+    *retries* times; points that still fail raise
+    :class:`SweepPointError` listing every failed fingerprint.
     """
     specs = sweep.expand() if isinstance(sweep, Sweep) else list(sweep)
     ctx = get_context()
@@ -272,9 +299,32 @@ def run_sweep(sweep: Union[Sweep, Iterable[Union[RunSpec, SystemSpec]]],
 
     if pending:
         if jobs > 1 and len(pending) > 1:
-            work = [(spec, fp) for _i, spec, fp in pending]
-            with multiprocessing.Pool(min(jobs, len(pending))) as pool:
-                payloads = pool.map(_pool_worker, work, chunksize=1)
+            # Keys are queue positions, not fingerprints: without a
+            # cache, duplicate specs are not deduplicated and would
+            # collide on the fingerprint.
+            items = [(seq, (spec, fp))
+                     for seq, (_i, spec, fp) in enumerate(pending)]
+
+            def _report(event) -> None:
+                if event[0] == "retry":
+                    fp = pending[event[1]][2]
+                    print(f"warning: sweep point {fp[:12]} attempt "
+                          f"{event[2]} failed ({event[3]}); retrying",
+                          file=sys.stderr)
+
+            by_seq, failed = run_points(items, _pool_worker,
+                                        jobs=min(jobs, len(pending)),
+                                        retries=retries,
+                                        timeout=point_timeout,
+                                        on_event=_report)
+            if failed:
+                failures = {pending[seq][2]: error
+                            for seq, error in sorted(failed.items())}
+                for fp, error in failures.items():
+                    print(f"error: sweep point {fp} failed permanently: "
+                          f"{error}", file=sys.stderr)
+                raise SweepPointError(failures)
+            payloads = [by_seq[seq] for seq in range(len(pending))]
         else:
             payloads = [_pool_worker((spec, fp))
                         for _i, spec, fp in pending]

@@ -74,7 +74,16 @@ class NetworkInterface(Clocked):
         self._last_announced = 0
         self._enabled = True             # cleared by a merged stop bit
         self._sent_requests = 0          # per-source GO-REQ sequence
-        self._consumed_counts: Dict[int, int] = {}
+        # Per-sid consumed-request counts, list-indexed by sid (sids are
+        # node ids): rvc_eligible reads this once per blocked GO-REQ VC
+        # per arbitration scan mesh-wide, and a flat list beats a dict
+        # lookup + default on that path.
+        self._consumed_counts: List[int] = [0] * noc_config.n_nodes
+        # Direct ref to the tracker's expansion deque (mutated in place,
+        # never reassigned) — saves two attribute hops per rvc_eligible
+        # call.  Checkpoint-safe: the single-pickle snapshot preserves
+        # shared references, so the alias survives restore intact.
+        self._tracker_expansion = self.tracker._expansion
 
         # --- receive side ------------------------------------------------
         self._arrivals = EventWheel()
@@ -194,14 +203,14 @@ class NetworkInterface(Clocked):
         """
         if not self.ordering_enabled:
             return False
-        consumed = self._consumed_counts.get(sid, 0)
-        if 0 <= seq < consumed:
-            return True
+        consumed = self._consumed_counts[sid]
+        if seq < consumed:
+            return seq >= 0
         if seq != consumed:
             return False
         # Inline of tracker.current_esid()'s hot path; this query runs
         # once per blocked GO-REQ VC per arbitration scan mesh-wide.
-        expansion = self.tracker._expansion
+        expansion = self._tracker_expansion
         if expansion:
             return expansion[0] == sid
         return self.tracker.current_esid() == sid
@@ -425,7 +434,7 @@ class NetworkInterface(Clocked):
             return
         packet, vc_index, arrive_cycle = self._held_goreq.pop(esid)
         self.tracker.consume_esid()
-        self._consumed_counts[esid] = self._consumed_counts.get(esid, 0) + 1
+        self._consumed_counts[esid] += 1
         self._note_order_progress()
         self._return_eject_credit(cycle, packet, VNet.GO_REQ, vc_index)
         for listener in self._request_listeners:

@@ -299,17 +299,31 @@ class Router(Clocked):
         if run_arb:
             gser = self._gser
             memo = self._inport_memo
+            pser = self._pser
             # A port's memo proves every VC scan up to its retry cycle is
             # a no-op — unless an unblock event touched an outport the
-            # proof examined (see _memo_valid).
+            # proof examined.  The revalidation walk is inlined (see the
+            # note above _plan_sleep): this loop runs every arbitration
+            # cycle mesh-wide and the call overhead is measurable.
             skip = [False] * 5
             port_buffered = self._port_buffered
             for inport in PORTS:
                 if port_buffered[inport]:
                     m = memo[inport]
-                    if cycle < m[1] and (m[0] == gser
-                                         or self._memo_valid(m, cycle, gser)):
-                        skip[inport] = True
+                    if cycle < m[1]:
+                        if m[0] == gser:
+                            skip[inport] = True
+                        else:
+                            mask = m[2]
+                            port = 3
+                            while mask:
+                                if (mask & 1) and pser[port - 3] != m[port]:
+                                    break
+                                mask >>= 1
+                                port += 1
+                            else:
+                                m[0] = gser
+                                skip[inport] = True
             retry = [WAKE_NEVER] * 5
             elig = [False] * 5
             masks = [0] * 5
@@ -330,25 +344,14 @@ class Router(Clocked):
                     m[3:8] = pser
         self._plan_sleep(cycle)
 
-    def _memo_valid(self, m: List[int], cycle: int, gser: int) -> bool:
-        """Is this blocked-VC proof still current?  Fast path: no event
-        fired anywhere since it was written.  Slow path: events fired,
-        but none touched an outport the proof examined — refresh the
-        proof's gser so the fast path works again."""
-        if cycle >= m[1]:
-            return False
-        if m[0] == gser:
-            return True
-        mask = m[2]
-        pser = self._pser
-        port = 3
-        while mask:
-            if (mask & 1) and pser[port - 3] != m[port]:
-                return False
-            mask >>= 1
-            port += 1
-        m[0] = gser
-        return True
+    # Blocked-proof revalidation (inlined at its three call sites —
+    # step(), _plan_sleep(), _arbitrate_buffered() — the call overhead
+    # was measurable on the saturated path): a memo [gser, retry, mask,
+    # pser0..4] is current when no event fired since it was written
+    # (m[0] == gser), or when events fired but none touched an outport
+    # the proof examined (every mask bit's per-port serial unchanged) —
+    # in which case the proof's gser is refreshed so the fast path
+    # works again.
 
     def _plan_sleep(self, cycle: int) -> None:
         if not self._n_buffered:
@@ -369,12 +372,22 @@ class Router(Clocked):
             wake_at = due
         gser = self._gser
         memo = self._inport_memo
+        pser = self._pser
         for inport in PORTS:
             if self._port_buffered[inport]:
                 m = memo[inport]
-                if not (cycle < m[1] and (m[0] == gser
-                                          or self._memo_valid(m, cycle, gser))):
+                if cycle >= m[1]:
                     return          # no current proof: arbitrate next cycle
+                if m[0] != gser:
+                    # Inlined revalidation walk (see note above).
+                    mask = m[2]
+                    port = 3
+                    while mask:
+                        if (mask & 1) and pser[port - 3] != m[port]:
+                            return
+                        mask >>= 1
+                        port += 1
+                    m[0] = gser
                 if m[1] < wake_at:
                     wake_at = m[1]
         self.idle_until(None if wake_at >= WAKE_NEVER else wake_at)
@@ -700,13 +713,24 @@ class Router(Clocked):
                 # Per-VC blocked proof: serials are monotonic, so a memo
                 # whose mask port bumped (or whose retry passed) can never
                 # revalidate — a once-eligible VC always rescans fresh.
+                # The revalidation walk is inlined (see step()).
                 vm = vc_memos[slot]
-                if cycle < vm[1] and (vm[0] == gser
-                                      or self._memo_valid(vm, cycle, gser)):
-                    if vm[1] < min_retry:
-                        min_retry = vm[1]
-                    mask |= vm[2]
-                    continue
+                if cycle < vm[1]:
+                    if vm[0] != gser:
+                        vmask = vm[2]
+                        vport = 3
+                        while vmask:
+                            if (vmask & 1) and pser[vport - 3] != vm[vport]:
+                                break
+                            vmask >>= 1
+                            vport += 1
+                        else:
+                            vm[0] = gser
+                    if vm[0] == gser:
+                        if vm[1] < min_retry:
+                            min_retry = vm[1]
+                        mask |= vm[2]
+                        continue
                 is_goreq = packet.vnet == VNet.GO_REQ
                 sid = packet.sid
                 vc_retry = WAKE_NEVER

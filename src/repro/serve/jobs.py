@@ -1,0 +1,220 @@
+"""Job bookkeeping for the sweep service.
+
+A *job* is one submitted experiment document.  :class:`JobManager`
+mirrors the local ``run_experiment`` execution exactly — same
+fingerprinting, same one-lookup-per-spec cache accounting (a duplicate
+of a pending point is its own miss), same label handling, same
+:func:`collect_experiment_result` tail — so the envelope a job produces
+is **byte-identical** to ``repro run-file`` on the same document
+against the same cache state.  That is the contract that makes a shared
+service safe: a result is a result, regardless of which door it came
+through (``tests/test_serve.py`` locks it).
+
+Points that miss the cache go to the host's
+:class:`~repro.serve.scheduler.PointScheduler`; everything else is
+answered at submit time.  Each job records an append-only event log
+(``queued`` / ``point`` / ``retry`` / ``done`` / ``failed``) that the
+frontend streams as NDJSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.api.document import (ExperimentSpec, collect_experiment_result,
+                                envelope_bytes)
+from repro.experiments.cache import CacheBackend, code_version
+from repro.experiments.sweep import SweepResult
+from repro.serve.scheduler import PointScheduler
+
+
+class Job:
+    """One submitted document and everything it has produced so far."""
+
+    def __init__(self, job_id: str, experiment: ExperimentSpec) -> None:
+        self.id = job_id
+        self.experiment = experiment
+        self.state = "running"          # running | done | failed
+        self.results: List[Optional[SweepResult]] = \
+            [None] * len(experiment.specs)
+        self.hits = 0
+        self.misses = 0
+        # fingerprint -> spec indices it resolves (first index computes,
+        # the rest alias), insertion-ordered.
+        self.pending: Dict[str, List[int]] = {}
+        self.remaining = 0
+        self.failures: Dict[str, str] = {}
+        self.retries = 0
+        self.envelope: Optional[bytes] = None
+        self.error: Optional[str] = None
+        self.events: List[Dict[str, Any]] = []
+        self.condition = threading.Condition()
+
+    # -- status ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        with self.condition:
+            return {
+                "job": self.id,
+                "experiment": self.experiment.name,
+                "state": self.state,
+                "points": len(self.results),
+                "pending": self.remaining,
+                "retries": self.retries,
+                "cache": {"hits": self.hits, "misses": self.misses},
+                "failures": dict(self.failures),
+                "error": self.error,
+            }
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        """Append an event and wake streamers (condition held)."""
+        event["job"] = self.id
+        self.events.append(event)
+        self.condition.notify_all()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        with self.condition:
+            return self.condition.wait_for(
+                lambda: self.state != "running", timeout=timeout)
+
+
+class JobManager:
+    """Expands, short-circuits, schedules and assembles jobs."""
+
+    def __init__(self, backend: CacheBackend,
+                 scheduler: PointScheduler) -> None:
+        self.backend = backend
+        self.scheduler = scheduler
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, experiment: ExperimentSpec) -> Job:
+        """Accept a validated document: resolve every point against the
+        cache (submit-time short-circuit), queue only the unique misses.
+        """
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:04d}"
+            job = Job(job_id, experiment)
+            self._jobs[job_id] = job
+
+        version = code_version()
+        for index, spec in enumerate(experiment.specs):
+            fingerprint = spec.fingerprint(code_version=version)
+            if fingerprint in job.pending:
+                # Duplicate of a point already pending in *this* job:
+                # its own miss (matching run_sweep's accounting), but
+                # simulated once.
+                job.misses += 1
+                job.pending[fingerprint].append(index)
+                continue
+            payload = self.backend.get(fingerprint)
+            if payload is not None:
+                job.hits += 1
+                recalled = SweepResult.from_payload(payload, cached=True)
+                recalled.label = spec.label
+                job.results[index] = recalled
+            else:
+                job.misses += 1
+                job.pending[fingerprint] = [index]
+
+        job.remaining = len(job.pending)
+        with job.condition:
+            job._emit({"event": "queued", "points": len(job.results),
+                       "hits": job.hits, "misses": job.misses,
+                       "pending": job.remaining})
+        if job.remaining == 0:
+            self._finalize(job)
+            return job
+        for fingerprint in job.pending:
+            first = job.pending[fingerprint][0]
+            spec = experiment.specs[first]
+            self.scheduler.submit(
+                fingerprint, spec,
+                lambda kind, fp, payload, error, _job=job:
+                    self._on_point(_job, kind, fp, payload, error))
+        return job
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Completion (called from the scheduler's dispatch thread)
+    # ------------------------------------------------------------------
+
+    def _on_point(self, job: Job, kind: str, fingerprint: str,
+                  payload: Optional[Dict[str, Any]],
+                  error: Optional[str]) -> None:
+        if kind == "retry":
+            with job.condition:
+                job.retries += 1
+                job._emit({"event": "retry", "fingerprint": fingerprint,
+                           "error": error})
+            return
+        finished = False
+        with job.condition:
+            indices = job.pending.get(fingerprint, [])
+            if kind == "done" and payload is not None:
+                for position, index in enumerate(indices):
+                    result = SweepResult.from_payload(
+                        payload, cached=position > 0)
+                    result.label = job.experiment.specs[index].label
+                    job.results[index] = result
+                job._emit({"event": "point", "fingerprint": fingerprint,
+                           "indices": list(indices)})
+            else:
+                job.failures[fingerprint] = error or "unknown failure"
+                job._emit({"event": "point_failed",
+                           "fingerprint": fingerprint, "error": error})
+            job.remaining -= 1
+            finished = job.remaining == 0
+        if finished:
+            self._finalize(job)
+
+    def _finalize(self, job: Job) -> None:
+        """Assemble the terminal state: the byte-canonical envelope on
+        success, a loud per-fingerprint failure list otherwise."""
+        if job.failures:
+            lines = "".join(f"\n  {fp}: {error}"
+                            for fp, error in job.failures.items())
+            with job.condition:
+                job.state = "failed"
+                job.error = (f"{len(job.failures)} point(s) failed "
+                             f"permanently:{lines}")
+                job._emit({"event": "failed", "error": job.error,
+                           "failures": dict(job.failures)})
+            return
+        try:
+            collected = collect_experiment_result(job.experiment,
+                                                  job.results)
+            collected.cache_stats = {"hits": job.hits,
+                                     "misses": job.misses}
+            envelope = envelope_bytes(collected.payload())
+        except Exception as exc:  # bench/litmus collection failure
+            with job.condition:
+                job.state = "failed"
+                job.error = f"result collection failed: {exc}"
+                job._emit({"event": "failed", "error": job.error})
+            return
+        with job.condition:
+            job.envelope = envelope
+            job.state = "done"
+            job._emit({"event": "done",
+                       "cache": {"hits": job.hits, "misses": job.misses},
+                       "bytes": len(envelope)})

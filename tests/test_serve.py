@@ -1,0 +1,305 @@
+"""End-to-end tests for the ``repro serve`` sweep service.
+
+The load-bearing contract: an experiment document submitted over HTTP
+produces a results envelope **byte-identical** to ``repro run-file``
+on the same document against the same cache state.  Around it: warm
+re-submission does zero simulation work (proven at the scheduler),
+identical points coalesce, a SIGKILLed worker loses no points, spool
+drops execute exactly once, and the failure paths are loud."""
+
+import asyncio
+import io
+import json
+import time
+
+import pytest
+
+from repro.api import envelope_bytes, run_experiment
+from repro.api.client import AsyncServeClient, ServeClient, ServeError
+from repro.api.document import experiment_from_dict
+from repro.serve import serve
+
+KNOBS = dict(ops_per_core=8, workload_scale=0.02, think_scale=10.0)
+
+
+@pytest.fixture(autouse=True)
+def isolated_execution_context(monkeypatch):
+    import repro.experiments.context as context
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(context, "_context", context.ExecutionContext())
+
+
+def tiny_document(name="serve-tiny", seeds=(0, 1), protocol="scorpio"):
+    return {
+        "schema": 1,
+        "name": name,
+        "runs": [dict(benchmark="fft", protocol=protocol, seed=seed,
+                      **KNOBS) for seed in seeds],
+    }
+
+
+def local_envelope(document, cache_dir, jobs=2):
+    """What ``repro run-file --cache-dir <fresh> --output`` writes."""
+    collected = run_experiment(experiment_from_dict(document),
+                               jobs=jobs, cache=str(cache_dir))
+    return envelope_bytes(collected.payload())
+
+
+def without_cache_key(envelope):
+    payload = json.loads(envelope)
+    payload.pop("cache", None)
+    return payload
+
+
+def run_cli(*argv):
+    from repro.cli import main
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = serve(tmp_path / "cache", port=0, workers=2).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestFrontend:
+    def test_health(self, server, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["server"].startswith("repro-serve/")
+        assert health["cache"] == server.service.backend.location
+
+    def test_unknown_paths_are_404(self, client):
+        with pytest.raises(ServeError, match="HTTP 404"):
+            client._request("/nope")
+        with pytest.raises(ServeError, match="HTTP 404"):
+            client.job("job-9999")
+
+    def test_empty_and_invalid_bodies_are_400(self, client):
+        with pytest.raises(ServeError, match="HTTP 400"):
+            client._request("/v1/jobs", method="POST", data=b"")
+        with pytest.raises(ServeError, match="HTTP 400"):
+            client._request("/v1/jobs", method="POST", data=b"not json")
+
+    def test_invalid_document_is_422_with_detail(self, client):
+        bad = {"schema": 1, "name": "bad",
+               "runs": [{"benchmark": "fft", "protocol": "no-such"}]}
+        with pytest.raises(ServeError, match="HTTP 422.*protocol"):
+            client.submit_document(bad)
+
+
+class TestByteIdentity:
+    def test_http_envelope_identical_to_run_file(self, tmp_path, client):
+        """The tentpole contract: same document, same (fresh) cache
+        state -> the HTTP result is the run-file envelope, byte for
+        byte, including the cache stats key."""
+        document = tiny_document()
+        outcome = client.run(document, timeout=120.0)
+        expected = local_envelope(document, tmp_path / "local-cache")
+        assert outcome.envelope == expected
+        assert outcome.payload["cache"] == {"hits": 0, "misses": 2}
+
+    def test_warm_resubmit_does_zero_simulation_work(self, server, client):
+        document = tiny_document()
+        cold = client.run(document, timeout=120.0)
+        spawned_before = server.service.scheduler.spawned
+        warm = client.run(document, timeout=120.0)
+        # Scheduler-level proof: no worker process was started.
+        assert server.service.scheduler.spawned == spawned_before
+        assert warm.summary["cache"] == {"hits": 2, "misses": 0}
+        assert warm.payload["cache"] == {"hits": 2, "misses": 0}
+        # Identical but for the cache stats (hits instead of misses).
+        assert without_cache_key(warm.envelope) \
+            == without_cache_key(cold.envelope)
+
+    def test_duplicate_points_coalesce_into_one_simulation(self, server,
+                                                           client):
+        document = tiny_document(seeds=(0, 0))
+        spawned_before = server.service.scheduler.spawned
+        outcome = client.run(document, timeout=120.0)
+        # run_sweep accounting: each requested point is its own miss...
+        assert outcome.summary["cache"] == {"hits": 0, "misses": 2}
+        # ...but the fingerprint simulated exactly once.
+        assert server.service.scheduler.spawned == spawned_before + 1
+        results = outcome.payload["results"]
+        assert len(results) == 2 and results[0] == results[1]
+
+
+class TestJobLifecycle:
+    def test_events_stream_replays_and_follows(self, client):
+        events = []
+        outcome = client.run(tiny_document(seeds=(0,)), timeout=120.0,
+                             on_event=events.append)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert kinds.count("point") == 1
+        assert kinds[-1] == "done"
+        assert all(event["job"] == outcome.summary["job"]
+                   for event in events)
+
+    def test_jobs_listing(self, client):
+        outcome = client.run(tiny_document(seeds=(0,)), timeout=120.0)
+        jobs = client.jobs()
+        assert [job["job"] for job in jobs] == [outcome.summary["job"]]
+        assert jobs[0]["state"] == "done"
+        assert client.job(outcome.summary["job"])["state"] == "done"
+
+    def test_failed_job_is_loud_and_result_is_410(self, tmp_path,
+                                                  monkeypatch):
+        import repro.serve.scheduler as scheduler_mod
+
+        def doomed_worker(item):
+            raise RuntimeError("deliberate point failure")
+
+        monkeypatch.setattr(scheduler_mod, "_pool_worker", doomed_worker)
+        server = serve(tmp_path / "cache", port=0, workers=1,
+                       retries=0).start()
+        try:
+            client = ServeClient(server.url)
+            with pytest.raises(ServeError,
+                               match="deliberate point failure"):
+                client.run(tiny_document(seeds=(0,)), timeout=120.0)
+            job_id = client.jobs()[0]["job"]
+            summary = client.job(job_id)
+            assert summary["state"] == "failed"
+            assert len(summary["failures"]) == 1
+            with pytest.raises(ServeError, match="HTTP 410"):
+                client.result_bytes(job_id)
+        finally:
+            server.stop()
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_loses_no_points(self, tmp_path, monkeypatch):
+        """SIGKILL a worker mid-job: the job still completes via retry
+        and the envelope is byte-identical to an undisturbed run."""
+        import os
+        import signal
+
+        import repro.serve.scheduler as scheduler_mod
+
+        real_worker = scheduler_mod._pool_worker
+        flag = tmp_path / "killed-once"
+
+        def kill_once_worker(item):
+            if not flag.exists():
+                flag.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_worker(item)
+
+        monkeypatch.setattr(scheduler_mod, "_pool_worker",
+                            kill_once_worker)
+        server = serve(tmp_path / "cache", port=0, workers=1,
+                       retries=1).start()
+        try:
+            document = tiny_document()
+            outcome = ServeClient(server.url).run(document, timeout=120.0)
+            assert flag.exists()           # the kill really happened
+            assert outcome.summary["retries"] >= 1
+            assert outcome.envelope \
+                == local_envelope(document, tmp_path / "undisturbed")
+        finally:
+            server.stop()
+
+
+class TestSpool:
+    def test_dropped_document_executes_once_and_writes_result(
+            self, tmp_path):
+        spool = tmp_path / "spool"
+        server = serve(tmp_path / "cache", port=0, workers=2,
+                       spool=spool, spool_interval=0.05).start()
+        try:
+            document = tiny_document(name="spooled")
+            (spool / "drop.json").write_text(json.dumps(document),
+                                             encoding="utf-8")
+            result = spool / "drop.result.json"
+            deadline = time.monotonic() + 120.0
+            while not result.exists():
+                assert time.monotonic() < deadline, "spool result never appeared"
+                time.sleep(0.05)
+            assert result.read_bytes() \
+                == local_envelope(document, tmp_path / "local-cache")
+            # The drop was claimed and consumed; no claim litter left.
+            leftovers = sorted(p.name for p in spool.iterdir())
+            assert leftovers == ["drop.result.json"]
+        finally:
+            server.stop()
+
+    def test_bad_document_leaves_error_file(self, tmp_path):
+        spool = tmp_path / "spool"
+        server = serve(tmp_path / "cache", port=0, workers=1,
+                       spool=spool, spool_interval=0.05).start()
+        try:
+            (spool / "broken.json").write_text('{"schema": 99}',
+                                               encoding="utf-8")
+            error = spool / "broken.error.txt"
+            deadline = time.monotonic() + 30.0
+            while not error.exists():
+                assert time.monotonic() < deadline, "spool error never appeared"
+                time.sleep(0.05)
+            assert "schema" in error.read_text(encoding="utf-8")
+        finally:
+            server.stop()
+
+
+class TestAsyncClient:
+    def test_async_run_matches_sync(self, server, client):
+        document = tiny_document(seeds=(0,))
+        sync_outcome = client.run(document, timeout=120.0)
+
+        async def go():
+            async_client = AsyncServeClient(server.url)
+            assert (await async_client.health())["status"] == "ok"
+            outcome = await async_client.run(document, timeout=120.0)
+            events = []
+            async for event in async_client.events(
+                    outcome.summary["job"]):
+                events.append(event)
+            return outcome, events
+
+        outcome, events = asyncio.run(go())
+        assert outcome.summary["cache"] == {"hits": 1, "misses": 0}
+        assert without_cache_key(outcome.envelope) \
+            == without_cache_key(sync_outcome.envelope)
+        assert [event["event"] for event in events][-1] == "done"
+
+
+class TestCli:
+    def test_submit_wait_and_jobs(self, tmp_path, server):
+        document = tiny_document(seeds=(0,))
+        doc_path = tmp_path / "doc.json"
+        doc_path.write_text(json.dumps(document), encoding="utf-8")
+        out_path = tmp_path / "envelope.json"
+
+        code, text = run_cli("submit", str(doc_path), "--url", server.url,
+                             "--wait", "--output", str(out_path))
+        assert code == 0
+        assert "done: 1 points" in text
+        assert out_path.read_bytes() \
+            == local_envelope(document, tmp_path / "local-cache")
+
+        code, text = run_cli("submit", str(doc_path), "--url", server.url)
+        assert code == 0
+        assert "job-0002" in text
+
+        code, text = run_cli("jobs", "--url", server.url)
+        assert code == 0
+        assert "job-0001" in text and "done" in text
+
+    def test_submit_unreachable_service_fails_loud(self, tmp_path):
+        doc_path = tmp_path / "doc.json"
+        doc_path.write_text(json.dumps(tiny_document(seeds=(0,))),
+                            encoding="utf-8")
+        code, text = run_cli("submit", str(doc_path),
+                             "--url", "http://127.0.0.1:1", "--wait")
+        assert code == 1
+        assert "error:" in text

@@ -1,0 +1,189 @@
+"""The hardened sweep execution path: per-point worker processes with
+timeout, bounded retry, and loud permanent failure.
+
+The contract under test (ISSUE 10 satellite): a worker that dies
+mid-point — crash, SIGKILL, timeout — never loses the point.  It
+retries up to the bound, and a point that keeps failing surfaces as a
+:class:`SweepPointError` listing every failed fingerprint, never as a
+hang or a silent gap in the results."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.config import ChipConfig
+from repro.experiments import RunSpec, SweepPointError, run_sweep
+from repro.experiments.procpool import SlotPool, run_points
+
+KNOBS = dict(ops_per_core=8, workload_scale=0.02, think_scale=10.0)
+
+
+@pytest.fixture(autouse=True)
+def isolated_execution_context(monkeypatch):
+    import repro.experiments.context as context
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(context, "_context", context.ExecutionContext())
+
+
+def tiny_spec(**overrides):
+    params = dict(benchmark="fft", protocol="scorpio",
+                  config=ChipConfig.variant(3, 3), seed=0, **KNOBS)
+    params.update(overrides)
+    return RunSpec(**params)
+
+
+# Workers must be module-level (forked children call them).
+
+def _double(item):
+    return item * 2
+
+
+def _crash_on_odd(item):
+    if item % 2:
+        raise ValueError(f"odd item {item}")
+    return item
+
+
+def _sigkill_self(item):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sigkill_once(item):
+    flag, value = item
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _sleep_forever(item):
+    time.sleep(300)
+
+
+class TestRunPoints:
+    def test_results_keyed_like_items(self):
+        results, failures = run_points(
+            [(k, k) for k in range(5)], _double, jobs=3)
+        assert failures == {}
+        assert results == {k: k * 2 for k in range(5)}
+
+    def test_exception_carries_message_and_retries(self):
+        events = []
+        results, failures = run_points(
+            [(0, 0), (1, 1)], _crash_on_odd, jobs=2, retries=1,
+            backoff=0.01, on_event=events.append)
+        assert results == {0: 0}
+        assert list(failures) == [1]
+        assert "ValueError: odd item 1" in failures[1]
+        # One retry happened before the permanent failure.
+        assert [e[0] for e in events if e[1] == 1] == ["retry", "failed"]
+
+    def test_zero_retries_fails_immediately(self):
+        events = []
+        _results, failures = run_points(
+            [(1, 1)], _crash_on_odd, jobs=1, retries=0,
+            on_event=events.append)
+        assert list(failures) == [1]
+        assert [e[0] for e in events] == ["failed"]
+
+    def test_sigkill_is_attributed_not_hung(self):
+        results, failures = run_points(
+            [("victim", 0)], _sigkill_self, jobs=1, retries=1,
+            backoff=0.01)
+        assert results == {}
+        assert "killed by signal 9" in failures["victim"]
+
+    def test_sigkill_once_retries_to_success(self, tmp_path):
+        flag = str(tmp_path / "first-attempt")
+        events = []
+        results, failures = run_points(
+            [("p", (flag, 7))], _sigkill_once, jobs=1, retries=1,
+            backoff=0.01, on_event=events.append)
+        assert failures == {}
+        assert results == {"p": 70}
+        assert events[0][0] == "retry"
+
+    def test_timeout_kills_and_reports(self):
+        _results, failures = run_points(
+            [("slow", 0)], _sleep_forever, jobs=1, retries=0,
+            timeout=0.3)
+        assert "timed out" in failures["slow"]
+
+
+class TestSlotPool:
+    def test_spawn_counter_counts_attempts(self, tmp_path):
+        flag = str(tmp_path / "flag")
+        pool = SlotPool(_sigkill_once, jobs=1, retries=1, backoff=0.01)
+        pool.submit("p", (flag, 1))
+        while pool.pending():
+            pool.step()
+            pool.wait(0.05)
+        pool.close()
+        assert pool.spawned == 2      # the killed attempt and the retry
+
+    def test_precheck_short_circuits_without_spawning(self):
+        pool = SlotPool(_double, jobs=2, precheck=lambda key: key * 100)
+        pool.submit(3, 3)
+        events = []
+        while pool.pending():
+            events.extend(pool.step())
+            pool.wait(0.05)
+        pool.close()
+        assert events == [("done", 3, 300)]
+        assert pool.spawned == 0
+
+
+class TestRunSweepHardening:
+    def test_parallel_identical_to_serial(self):
+        specs = [tiny_spec(protocol=p) for p in ("scorpio", "lpd")]
+        parallel = run_sweep(specs, jobs=2, cache=False)
+        serial = run_sweep(specs, jobs=1, cache=False)
+        assert [r.payload() for r in parallel] \
+            == [r.payload() for r in serial]
+
+    def test_sigkilled_worker_loses_no_points(self, tmp_path, monkeypatch,
+                                              capsys):
+        """SIGKILL one worker mid-sweep: the sweep retries the point and
+        the results are byte-identical to an undisturbed run."""
+        import repro.experiments.sweep as sweep_mod
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        undisturbed = run_sweep(specs, jobs=2, cache=False)
+
+        flag = tmp_path / "killed-once"
+        real_worker = sweep_mod._pool_worker
+
+        def killing_worker(item):
+            spec, _fp = item
+            if spec.seed == 1 and not flag.exists():
+                flag.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_worker(item)
+
+        monkeypatch.setattr(sweep_mod, "_pool_worker", killing_worker)
+        disturbed = run_sweep(specs, jobs=2, cache=False)
+        assert [r.payload() for r in disturbed] \
+            == [r.payload() for r in undisturbed]
+        assert "retrying" in capsys.readouterr().err
+
+    def test_permanent_failure_is_loud_and_lists_fingerprints(
+            self, monkeypatch, capsys):
+        import repro.experiments.sweep as sweep_mod
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        real_worker = sweep_mod._pool_worker
+
+        def failing_worker(item):
+            spec, _fp = item
+            if spec.seed == 1:
+                raise RuntimeError("simulated point crash")
+            return real_worker(item)
+
+        monkeypatch.setattr(sweep_mod, "_pool_worker", failing_worker)
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(specs, jobs=2, cache=False, retries=1)
+        bad_fp = specs[1].fingerprint()
+        assert bad_fp in excinfo.value.failures
+        assert "simulated point crash" in excinfo.value.failures[bad_fp]
+        assert bad_fp in capsys.readouterr().err
